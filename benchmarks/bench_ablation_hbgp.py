@@ -1,0 +1,99 @@
+"""Ablation A1 — HBGP versus random partitioning (Section III-B).
+
+HBGP's stated goals: balanced per-worker load and few cross-partition
+transitions.  We compare three strategies on the same dataset and worker
+count:
+
+- ``hbgp`` — the paper's heuristic;
+- ``random_by_leaf`` — locality-aware but relationship-blind;
+- ``random`` — plain TNS assignment (no locality at all).
+
+Assertions: HBGP cuts far fewer transitions than random item assignment,
+is at least as good as leaf-random, stays balanced, and the advantage
+carries through to the engine's communication accounting.
+"""
+
+import pytest
+
+from repro.core.enrichment import build_enriched_corpus
+from repro.core.sgns import SGNSConfig
+from repro.distributed.engine import train_distributed
+from repro.distributed.partition import build_token_partition
+from repro.graph.hbgp import HBGPConfig, hbgp_partition, random_partition
+from repro.graph.item_graph import build_item_graph
+
+N_WORKERS = 8
+
+TRAIN_CFG = SGNSConfig(
+    dim=16, epochs=1, window=2, negatives=5, seed=5, subsample_threshold=1e-3
+)
+
+
+def test_ablation_hbgp_vs_random(benchmark, scale_dataset):
+    graph = build_item_graph(scale_dataset)
+    results = {
+        "hbgp": hbgp_partition(
+            scale_dataset, HBGPConfig(n_partitions=N_WORKERS), graph=graph
+        ),
+        "random_by_leaf": random_partition(
+            scale_dataset, N_WORKERS, seed=0, graph=graph, by_leaf=True
+        ),
+        "random": random_partition(scale_dataset, N_WORKERS, seed=0, graph=graph),
+    }
+    benchmark(
+        hbgp_partition, scale_dataset, HBGPConfig(n_partitions=N_WORKERS),
+        graph=graph,
+    )
+
+    print("\nAblation A1 — partitioning strategies (8 workers)")
+    print(f"{'strategy':>16s} {'cut_fraction':>13s} {'imbalance':>10s}")
+    for name, result in results.items():
+        print(f"{name:>16s} {result.cut_fraction:>13.3f} {result.imbalance:>10.2f}")
+
+    hbgp, by_leaf, random_items = (
+        results["hbgp"],
+        results["random_by_leaf"],
+        results["random"],
+    )
+    assert hbgp.cut_fraction < 0.5 * random_items.cut_fraction
+    assert hbgp.cut_fraction <= by_leaf.cut_fraction + 1e-9
+    assert hbgp.imbalance < 2.0
+
+
+def test_ablation_hbgp_engine_communication(benchmark, scale_dataset):
+    """The cut-fraction advantage must show up in engine accounting."""
+    corpus = build_enriched_corpus(
+        scale_dataset, with_si=False, with_user_types=False
+    )
+    hbgp_items = hbgp_partition(
+        scale_dataset, HBGPConfig(n_partitions=N_WORKERS)
+    ).item_partition
+    random_items = random_partition(
+        scale_dataset, N_WORKERS, seed=0
+    ).item_partition
+
+    stats = {}
+    for name, items in (("hbgp", hbgp_items), ("random", random_items)):
+        partition = build_token_partition(
+            corpus, N_WORKERS, item_partition=items, seed=TRAIN_CFG.seed
+        )
+        result = train_distributed(
+            corpus, TRAIN_CFG, n_workers=N_WORKERS, partition=partition
+        )
+        stats[name] = result.stats
+
+    benchmark(lambda: None)
+
+    print("\nAblation A1 — engine communication by partitioning strategy")
+    print(
+        f"{'strategy':>10s} {'remote_frac':>12s} {'floats_moved':>14s}"
+        f" {'sim_time_s':>11s}"
+    )
+    for name, stat in stats.items():
+        print(
+            f"{name:>10s} {stat.remote_fraction:>12.3f}"
+            f" {stat.floats_transferred:>14,} {stat.simulated_seconds:>11.3f}"
+        )
+    assert stats["hbgp"].remote_fraction < 0.5 * stats["random"].remote_fraction
+    assert stats["hbgp"].floats_transferred < stats["random"].floats_transferred
+    assert stats["hbgp"].simulated_seconds <= stats["random"].simulated_seconds

@@ -1,0 +1,45 @@
+"""Extension bench — ANN retrieval for the matching stage.
+
+Not a paper figure: quantifies the IVF index this repo adds for
+production-style serving.  Reports the recall@10-vs-probes curve and
+times approximate vs exact retrieval; asserts recall grows monotonically
+with probes and reaches 1.0 when scanning every cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ann import IVFIndex
+from repro.core.sisg import SISG
+
+
+@pytest.fixture(scope="module")
+def ann_setup(offline_split):
+    train, _ = offline_split
+    model = SISG.sisg_f(
+        dim=32, epochs=3, negatives=5, window=3, learning_rate=0.05,
+        subsample_threshold=1e-4, seed=3,
+    ).fit(train)
+    index = model.index
+    ivf = IVFIndex(index, n_cells=24, seed=0)
+    return index, ivf
+
+
+def test_ann_recall_curve(benchmark, ann_setup):
+    index, ivf = ann_setup
+    queries = index.item_ids[:100]
+
+    recalls = {}
+    for probes in (1, 2, 4, 8, 24):
+        recalls[probes] = ivf.recall_at_k(queries, k=10, n_probe=probes)
+
+    benchmark(ivf.topk, int(queries[0]), 10)
+
+    print("\nExtension — IVF recall@10 vs probed cells (24 cells total)")
+    for probes, recall in recalls.items():
+        print(f"n_probe={probes:>2d}: recall@10 = {recall:.3f}")
+
+    values = list(recalls.values())
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert recalls[24] == pytest.approx(1.0)
+    assert recalls[4] > 0.5

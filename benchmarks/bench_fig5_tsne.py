@@ -1,0 +1,70 @@
+"""Fig. 5 — t-SNE of user-type embeddings clusters by gender and age.
+
+The paper plots ~50k user-type vectors with t-SNE and observes "male"
+and "female" types concentrating in different regions, with age clusters
+inside each region.  We train the full SISG variant, embed all trained
+user-type vectors with our exact t-SNE, and quantify the visual claim
+with a between/within distance ratio per demographic attribute: gender
+separation must be clearly above 1 (and above the age separation is not
+asserted — the paper only claims both are visible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sisg import SISG
+from repro.core.vocab import TokenKind
+from repro.eval.tsne import cluster_separation, tsne
+
+
+@pytest.fixture(scope="module")
+def user_type_embedding(offline_split):
+    train, _ = offline_split
+    model = SISG.sisg_f_u(
+        dim=32, epochs=6, negatives=5, window=3, learning_rate=0.05,
+        subsample_threshold=3e-3, seed=3,
+    ).fit(train)
+    vocab = model.model.vocab
+    ut_ids = vocab.ids_of_kind(TokenKind.USER_TYPE)
+    vectors = model.model.w_in[ut_ids]
+    genders = np.asarray(
+        [vocab.payload_of(int(v))[0] for v in ut_ids], dtype=np.int64
+    )
+    ages = np.asarray(
+        [vocab.payload_of(int(v))[1] for v in ut_ids], dtype=np.int64
+    )
+    return vectors, genders, ages
+
+
+def test_fig5_user_type_tsne(benchmark, user_type_embedding):
+    vectors, genders, ages = user_type_embedding
+    assert len(vectors) >= 30, "world produced too few user types"
+
+    embedding = tsne(
+        vectors, n_components=2, perplexity=min(20, len(vectors) // 4),
+        n_iter=400, seed=0,
+    )
+    benchmark(
+        tsne, vectors[:32], n_components=2, perplexity=5, n_iter=50, seed=0
+    )
+
+    gender_sep = cluster_separation(embedding, genders)
+    age_sep = cluster_separation(embedding, ages)
+    # Raw-space separations, for reference.
+    raw_gender = cluster_separation(vectors, genders)
+
+    print("\nFig. 5 (scaled) — t-SNE of user-type embeddings")
+    print(f"user types embedded : {len(vectors)}")
+    print(f"gender separation   : {gender_sep:.2f} (t-SNE), {raw_gender:.2f} (raw)")
+    print(f"age separation      : {age_sep:.2f} (t-SNE)")
+
+    # The paper's qualitative claim: user types cluster by demographics —
+    # both gender and age structure are visible (between-class distance
+    # >= within-class), with at least one clearly separated.  In the
+    # paper's real traffic gender dominates; in our synthetic world the
+    # demographic-affinity generator weighs gender and age equally, so
+    # which of the two separates more is seed-dependent (documented in
+    # EXPERIMENTS.md).
+    assert gender_sep >= 1.0
+    assert age_sep >= 1.0
+    assert max(gender_sep, age_sep) > 1.05

@@ -1,0 +1,80 @@
+"""Fig. 7(a) — training time versus number of workers.
+
+The paper trains SISG on Taobao100M with 4-32 workers and observes the
+training time tracking ``y = c / x``.  We run the simulated engine on the
+scaled world for the same worker counts and assert (1) strictly
+decreasing simulated time and (2) a good fit to ``c / w`` — the mean
+relative deviation from the best-fit inverse curve must stay small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.enrichment import build_enriched_corpus
+from repro.core.sgns import SGNSConfig
+from repro.distributed.engine import train_distributed
+from repro.distributed.partition import build_token_partition
+from repro.graph.hbgp import HBGPConfig, hbgp_partition
+
+WORKER_COUNTS = (4, 8, 16, 32)
+
+TRAIN_CFG = SGNSConfig(
+    dim=32, epochs=1, window=2, negatives=20, seed=5, subsample_threshold=1e-3
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(scale_dataset):
+    return build_enriched_corpus(scale_dataset, with_si=True, with_user_types=True)
+
+
+@pytest.fixture(scope="module")
+def hbgp_items(scale_dataset):
+    return {
+        w: hbgp_partition(scale_dataset, HBGPConfig(n_partitions=w)).item_partition
+        for w in WORKER_COUNTS
+    }
+
+
+def test_fig7a_training_time_vs_workers(benchmark, corpus, hbgp_items, scale_dataset):
+    """Simulated training time must track 1/x in the worker count."""
+    times = {}
+    stats = {}
+    for w in WORKER_COUNTS:
+        partition = build_token_partition(
+            corpus, w, item_partition=hbgp_items[w], seed=TRAIN_CFG.seed
+        )
+        result = train_distributed(
+            corpus, TRAIN_CFG, n_workers=w, partition=partition
+        )
+        times[w] = result.stats.simulated_seconds
+        stats[w] = result.stats
+
+    # Time a representative cheap kernel so --benchmark-only records a
+    # number (the heavy experiment itself ran above, once).
+    benchmark(
+        build_token_partition,
+        corpus,
+        8,
+        item_partition=hbgp_items[8],
+        seed=TRAIN_CFG.seed,
+    )
+
+    print("\nFig. 7(a) (scaled) — training time vs workers")
+    print(f"{'workers':>8s} {'sim_time_s':>12s} {'remote_frac':>12s} {'imbalance':>10s}")
+    for w in WORKER_COUNTS:
+        print(
+            f"{w:>8d} {times[w]:>12.3f} {stats[w].remote_fraction:>12.3f}"
+            f" {stats[w].compute_imbalance:>10.2f}"
+        )
+
+    series = np.asarray([times[w] for w in WORKER_COUNTS])
+    # Strictly decreasing in the worker count.
+    assert np.all(np.diff(series) < 0), series
+    # Fit t(w) = c / w (least squares on c) and check relative deviation.
+    ws = np.asarray(WORKER_COUNTS, dtype=float)
+    c = float((series * ws).mean())
+    fitted = c / ws
+    deviation = float(np.mean(np.abs(series - fitted) / fitted))
+    print(f"best-fit c={c:.2f}, mean relative deviation from 1/x: {deviation:.1%}")
+    assert deviation < 0.35

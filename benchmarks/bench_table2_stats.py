@@ -1,0 +1,67 @@
+"""Table II — dataset statistics at three scales.
+
+The paper reports, for Taobao25M / Taobao100M / Taobao800M: item count,
+number of SI feature types, user-type count, total token count, positive
+pairs, and training pairs (negatives ratio 20).  We regenerate the same
+row structure for three scaled synthetic worlds (S/M/L) and assert the
+paper's qualitative facts: #SI is constant, every other column grows
+with the dataset, and training pairs are 21x the positives.
+
+(All benchmark files time a representative kernel via the ``benchmark``
+fixture so the experiment executes — and its shape assertions run —
+under ``pytest --benchmark-only``.)
+"""
+
+import pytest
+
+from repro.data.stats import compute_corpus_stats
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+
+SCALES = {
+    "TaobaoS": dict(n_items=500, n_users=150, n_sessions=1000),
+    "TaobaoM": dict(n_items=2000, n_users=400, n_sessions=4000),
+    "TaobaoL": dict(n_items=6000, n_users=900, n_sessions=12000),
+}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    out = {}
+    for name, params in SCALES.items():
+        config = SyntheticWorldConfig(
+            n_items=params["n_items"],
+            n_users=params["n_users"],
+            n_leaf_categories=24,
+            n_top_categories=6,
+        )
+        world = SyntheticWorld(config, seed=11)
+        out[name] = world.generate_dataset(n_sessions=params["n_sessions"])
+    return out
+
+
+def test_table2_statistics(benchmark, datasets):
+    """Regenerate Table II and check its structural invariants."""
+    rows = {
+        name: compute_corpus_stats(ds, window=5, negatives=20, directional=True)
+        for name, ds in datasets.items()
+    }
+    # Time the statistics pass over the mid-sized dataset.
+    benchmark(compute_corpus_stats, datasets["TaobaoM"])
+
+    labels = list(next(iter(rows.values())).as_row())
+    header = ["", *rows.keys()]
+    print("\nTable II (scaled) — dataset statistics")
+    print("  ".join(f"{h:>16s}" for h in header))
+    for label in labels:
+        cells = [f"{rows[name].as_row()[label]:>16,}" for name in rows]
+        print(f"{label:>16s}  " + "  ".join(cells))
+
+    s, m, l = (rows[k] for k in ("TaobaoS", "TaobaoM", "TaobaoL"))
+    # #SI is a property of the schema, not the scale (paper: 8 everywhere).
+    assert s.n_si == m.n_si == l.n_si == 8
+    # Every volume column grows monotonically with scale.
+    for attr in ("n_items", "n_tokens", "n_positive_pairs", "n_training_pairs"):
+        assert getattr(s, attr) < getattr(m, attr) < getattr(l, attr), attr
+    # Training pairs = positives * (1 + 20), the production ratio.
+    for row in (s, m, l):
+        assert row.n_training_pairs == row.n_positive_pairs * 21

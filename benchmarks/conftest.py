@@ -1,0 +1,82 @@
+"""Shared worlds and helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md section 4).  Benchmarks print the paper-shaped table/series,
+assert the qualitative *shape* (who wins, monotonicity, crossovers), and
+time a representative kernel via pytest-benchmark.
+
+Scale mapping (DESIGN.md section 6): worlds here are 3-5 orders of
+magnitude smaller than Taobao's; absolute numbers differ, shapes are the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+
+#: The world used by the offline-evaluation benchmarks (Table III,
+#: Figs. 3-6).  Dense enough for the directional component to train,
+#: sharp forward bias, directed successor-leaf funnels, block-structured
+#: SI — each knob justified in DESIGN.md.
+OFFLINE_WORLD = SyntheticWorldConfig(
+    n_items=600,
+    n_users=400,
+    n_leaf_categories=12,
+    n_top_categories=4,
+    n_brands=120,
+    n_shops=250,
+    brands_per_leaf=10,
+    shops_per_leaf=18,
+    styles_per_leaf=5,
+    materials_per_leaf=4,
+    forward_prob=0.9,
+    forward_geom=0.65,
+    cross_leaf_prob=0.04,
+    succ_leaf_prob=0.12,
+)
+
+#: Shared SGNS settings for the offline benchmarks (scaled from the
+#: paper's d=128 / T=2 / 20 negatives at 10^12-pair density; see
+#: DESIGN.md section 6 for the density argument behind epochs=10).
+OFFLINE_TRAIN = dict(
+    dim=32,
+    epochs=10,
+    negatives=5,
+    window=3,
+    learning_rate=0.05,
+    subsample_threshold=3e-3,
+    seed=3,
+)
+
+#: The world used by the scalability benchmarks (Fig. 7, ablations).
+SCALE_WORLD = SyntheticWorldConfig(
+    n_items=2000,
+    n_users=500,
+    n_leaf_categories=32,
+    n_top_categories=8,
+    brands_per_leaf=10,
+    shops_per_leaf=20,
+)
+
+
+@pytest.fixture(scope="session")
+def offline_world() -> SyntheticWorld:
+    return SyntheticWorld(OFFLINE_WORLD, seed=1)
+
+
+@pytest.fixture(scope="session")
+def offline_split(offline_world):
+    dataset = offline_world.generate_dataset(n_sessions=4000)
+    return dataset.split_last_item()
+
+
+@pytest.fixture(scope="session")
+def scale_world() -> SyntheticWorld:
+    return SyntheticWorld(SCALE_WORLD, seed=2)
+
+
+@pytest.fixture(scope="session")
+def scale_dataset(scale_world):
+    return scale_world.generate_dataset(n_sessions=4000)

@@ -1,0 +1,45 @@
+"""Offline model comparison under the next-item protocol (Section IV-A).
+
+Trains a subset of the Table-III variants plus the CF baseline on one
+synthetic dataset and prints HR@K with relative gains over SGNS — a
+small-scale rehearsal of ``benchmarks/bench_table3_hitrate.py``.
+
+    python examples/offline_evaluation.py
+"""
+
+from repro import SISG, ItemCF, SyntheticWorld, SyntheticWorldConfig
+from repro.eval.hitrate import evaluate_hitrate, hitrate_table
+from repro.utils.logger import configure_basic_logging
+
+
+def main() -> None:
+    configure_basic_logging()
+
+    world = SyntheticWorld(
+        SyntheticWorldConfig(
+            n_items=500, n_users=250, n_top_categories=4, n_leaf_categories=10
+        ),
+        seed=11,
+    )
+    dataset = world.generate_dataset(n_sessions=2500)
+    train, test = dataset.split_last_item()
+    print(f"train sessions: {train.n_sessions}, test queries: {len(test)}")
+
+    ks = (1, 10, 20)
+    results = []
+
+    cf = ItemCF().fit(train)
+    results.append(evaluate_hitrate(cf, test, ks=ks, name="CF"))
+
+    for variant in ("SGNS", "SISG-F", "SISG-F-U"):
+        model = SISG.variant(
+            variant, dim=16, epochs=3, window=2, negatives=5, seed=1
+        ).fit(train)
+        results.append(evaluate_hitrate(model.index, test, ks=ks, name=variant))
+
+    print()
+    print(hitrate_table(results, baseline_name="SGNS"))
+
+
+if __name__ == "__main__":
+    main()

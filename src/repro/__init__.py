@@ -1,0 +1,61 @@
+"""repro — reproduction of "Billion-scale Recommendation with Heterogeneous
+Side Information at Taobao" (SISG, ICDE 2020).
+
+Top-level conveniences re-export the most used entry points:
+
+>>> from repro import SISG, SyntheticWorld, SyntheticWorldConfig
+>>> world = SyntheticWorld(SyntheticWorldConfig(n_items=500), seed=0)
+>>> dataset = world.generate_dataset(n_sessions=1000)
+>>> model = SISG.sisg_f_u_d(dim=16, epochs=2).fit(dataset)
+>>> items, scores = model.recommend(item_id=3, k=10)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import SISG, SISGConfig, EmbeddingModel, SimilarityIndex
+from repro.core.sgns import SGNSConfig, SGNSTrainer
+from repro.baselines import EGES, EGESConfig, ItemCF, ItemCFConfig
+from repro.data import (
+    BehaviorDataset,
+    SyntheticWorld,
+    SyntheticWorldConfig,
+    compute_corpus_stats,
+    generate_dataset,
+    load_userbehavior_csv,
+)
+from repro.distributed import PipelineConfig, TrainingPipeline, train_distributed
+from repro.eval import CTRConfig, CTRSimulator, evaluate_hitrate, hitrate_table
+from repro.graph import HBGPConfig, build_item_graph, hbgp_partition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SISG",
+    "SISGConfig",
+    "SGNSConfig",
+    "SGNSTrainer",
+    "EmbeddingModel",
+    "SimilarityIndex",
+    "EGES",
+    "EGESConfig",
+    "ItemCF",
+    "ItemCFConfig",
+    "BehaviorDataset",
+    "SyntheticWorld",
+    "SyntheticWorldConfig",
+    "compute_corpus_stats",
+    "generate_dataset",
+    "load_userbehavior_csv",
+    "PipelineConfig",
+    "TrainingPipeline",
+    "train_distributed",
+    "CTRConfig",
+    "CTRSimulator",
+    "evaluate_hitrate",
+    "hitrate_table",
+    "HBGPConfig",
+    "build_item_graph",
+    "hbgp_partition",
+    "__version__",
+]

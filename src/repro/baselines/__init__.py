@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: item-based CF and EGES."""
+
+from repro.baselines.itemcf import ItemCF, ItemCFConfig
+from repro.baselines.eges import EGES, EGESConfig
+
+__all__ = ["ItemCF", "ItemCFConfig", "EGES", "EGESConfig"]

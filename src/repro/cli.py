@@ -1,0 +1,223 @@
+"""Command-line interface: ``sisg <command>``.
+
+Commands mirror the production workflow:
+
+- ``sisg generate`` — sample a synthetic world and save it to disk;
+- ``sisg stats`` — print the Table-II statistics of a saved dataset;
+- ``sisg train`` — train a SISG variant (local or simulated-distributed
+  engine) and save the embedding model;
+- ``sisg evaluate`` — HR@K next-item evaluation of a saved model;
+- ``sisg recommend`` — top-K lookup for one item from a saved model;
+- ``sisg partition`` — run HBGP and report cut fraction / imbalance.
+
+Datasets are stored as ``.npz`` bundles via :mod:`repro.data.io_utils`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+from repro.utils.logger import configure_basic_logging
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="sample a synthetic dataset")
+    p.add_argument("output", help="output path (dataset .npz bundle)")
+    p.add_argument("--items", type=int, default=2000)
+    p.add_argument("--users", type=int, default=500)
+    p.add_argument("--leaves", type=int, default=24)
+    p.add_argument("--tops", type=int, default=6)
+    p.add_argument("--sessions", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_stats(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("stats", help="Table-II statistics of a dataset")
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("--window", type=int, default=5)
+    p.add_argument("--negatives", type=int, default=20)
+
+
+def _add_train(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("train", help="train a SISG variant")
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("output", help="model output path prefix")
+    p.add_argument(
+        "--variant",
+        default="SISG-F-U-D",
+        choices=["SGNS", "SISG-F", "SISG-U", "SISG-F-U", "SISG-F-U-D"],
+    )
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--window", type=int, default=2)
+    p.add_argument("--negatives", type=int, default=5)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--engine", default="local", choices=["local", "distributed"])
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_evaluate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("evaluate", help="HR@K next-item evaluation")
+    p.add_argument("dataset", help="dataset .npz bundle (full sessions)")
+    p.add_argument("model", help="model path prefix (from `sisg train`)")
+    p.add_argument("--directional", action="store_true")
+    p.add_argument("--ks", type=int, nargs="+", default=[1, 10, 20, 100, 200])
+
+
+def _add_recommend(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("recommend", help="top-K lookup for one item")
+    p.add_argument("model", help="model path prefix")
+    p.add_argument("item", type=int)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--directional", action="store_true")
+
+
+def _add_partition(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("partition", help="run HBGP over a dataset")
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--beta", type=float, default=1.2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sisg`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="sisg",
+        description="SISG reproduction toolkit (ICDE 2020).",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_stats(sub)
+    _add_train(sub)
+    _add_evaluate(sub)
+    _add_recommend(sub)
+    _add_partition(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    configure_basic_logging(logging.DEBUG if args.verbose else logging.INFO)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "recommend": _cmd_recommend,
+        "partition": _cmd_partition,
+    }
+    return handlers[args.command](args)
+
+
+# ----------------------------------------------------------------------
+# command implementations (imports deferred so --help stays instant)
+# ----------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.io_utils import save_dataset
+    from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+
+    config = SyntheticWorldConfig(
+        n_items=args.items,
+        n_users=args.users,
+        n_leaf_categories=args.leaves,
+        n_top_categories=args.tops,
+    )
+    world = SyntheticWorld(config, seed=args.seed)
+    dataset = world.generate_dataset(n_sessions=args.sessions)
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {dataset.n_items} items, {dataset.n_users} users,"
+        f" {dataset.n_sessions} sessions -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.data.io_utils import load_dataset
+    from repro.data.stats import compute_corpus_stats
+
+    dataset = load_dataset(args.dataset)
+    stats = compute_corpus_stats(
+        dataset, window=args.window, negatives=args.negatives
+    )
+    for label, value in stats.as_row().items():
+        print(f"{label:18s} {value:,}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.sisg import SISG
+    from repro.data.io_utils import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    model = SISG.variant(
+        args.variant,
+        dim=args.dim,
+        epochs=args.epochs,
+        window=args.window,
+        negatives=args.negatives,
+        learning_rate=args.lr,
+        seed=args.seed,
+        engine=args.engine,
+        n_workers=args.workers,
+    )
+    model.fit(dataset)
+    model.model.save(args.output)
+    print(f"trained {args.variant} -> {args.output}.npz / .vocab.json")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.model import EmbeddingModel
+    from repro.core.similarity import SimilarityIndex
+    from repro.data.io_utils import load_dataset
+    from repro.eval.hitrate import evaluate_hitrate
+
+    dataset = load_dataset(args.dataset)
+    _train, test = dataset.split_last_item()
+    model = EmbeddingModel.load(args.model)
+    mode = "directional" if args.directional else "cosine"
+    index = SimilarityIndex(model, mode=mode)
+    result = evaluate_hitrate(index, test, ks=tuple(args.ks), name=args.model)
+    for k in sorted(result.hit_rates):
+        print(f"HR@{k:<4d} {result.hit_rates[k]:.4f}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.core.model import EmbeddingModel
+    from repro.core.similarity import SimilarityIndex
+
+    model = EmbeddingModel.load(args.model)
+    mode = "directional" if args.directional else "cosine"
+    index = SimilarityIndex(model, mode=mode)
+    items, scores = index.topk(args.item, args.k)
+    for item, score in zip(items, scores):
+        print(f"item_{int(item):<10d} {score:+.4f}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.data.io_utils import load_dataset
+    from repro.graph.hbgp import HBGPConfig, hbgp_partition, random_partition
+
+    dataset = load_dataset(args.dataset)
+    hbgp = hbgp_partition(
+        dataset, HBGPConfig(n_partitions=args.workers, beta=args.beta)
+    )
+    rand = random_partition(dataset, args.workers)
+    print(f"{'strategy':10s} {'cut_fraction':>12s} {'imbalance':>10s}")
+    print(f"{'hbgp':10s} {hbgp.cut_fraction:12.4f} {hbgp.imbalance:10.4f}")
+    print(f"{'random':10s} {rand.cut_fraction:12.4f} {rand.imbalance:10.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: the SISG embedding framework.
+
+Layering, bottom to top:
+
+- :mod:`repro.core.vocab` — token vocabulary with per-token kind/payload.
+- :mod:`repro.core.enrichment` — SI-enhanced sequences (Eq. 4 of the paper).
+- :mod:`repro.core.sampling` — window/pair sampling, frequent-token
+  subsampling, and the alias-method negative sampler (``freq^0.75``).
+- :mod:`repro.core.sgns` — the single-machine SGNS trainer (Eq. 3).
+- :mod:`repro.core.model` — trained embedding container with save/load.
+- :mod:`repro.core.similarity` — cosine and directional top-K retrieval.
+- :mod:`repro.core.sisg` — the user-facing façade with the paper's model
+  variants (SGNS, SISG-F, SISG-U, SISG-F-U, SISG-F-U-D).
+- :mod:`repro.core.coldstart` — cold-start item (Eq. 6) and user recipes.
+"""
+
+from repro.core.vocab import TokenKind, Vocabulary
+from repro.core.enrichment import (
+    EnrichedCorpus,
+    build_enriched_corpus,
+    item_token,
+    si_token,
+    user_type_token,
+)
+from repro.core.sampling import (
+    AliasSampler,
+    PairGenerator,
+    build_noise_distribution,
+    subsample_keep_probabilities,
+)
+from repro.core.sgns import SGNSConfig, SGNSTrainer
+from repro.core.model import EmbeddingModel
+from repro.core.similarity import SimilarityIndex
+from repro.core.sisg import SISG, SISGConfig
+from repro.core.coldstart import (
+    infer_cold_item_vector,
+    cold_user_vector,
+    recommend_for_cold_user,
+    recommend_for_cold_item,
+)
+
+__all__ = [
+    "TokenKind",
+    "Vocabulary",
+    "EnrichedCorpus",
+    "build_enriched_corpus",
+    "item_token",
+    "si_token",
+    "user_type_token",
+    "AliasSampler",
+    "PairGenerator",
+    "build_noise_distribution",
+    "subsample_keep_probabilities",
+    "SGNSConfig",
+    "SGNSTrainer",
+    "EmbeddingModel",
+    "SimilarityIndex",
+    "SISG",
+    "SISGConfig",
+    "infer_cold_item_vector",
+    "cold_user_vector",
+    "recommend_for_cold_user",
+    "recommend_for_cold_item",
+]

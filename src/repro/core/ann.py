@@ -1,0 +1,197 @@
+"""Approximate nearest-neighbour retrieval (IVF) for the matching stage.
+
+At Taobao's scale the matching stage cannot brute-force a billion-item
+similarity scan per request; production systems serve embeddings from an
+approximate index.  This module provides a self-contained IVF (inverted
+file) index in NumPy:
+
+1. **k-means** clusters the candidate vectors into ``n_cells`` coarse
+   cells (Lloyd's algorithm with k-means++ seeding);
+2. a query scans only the ``n_probe`` nearest cells and ranks their
+   members exactly.
+
+Recall/latency trade off through ``n_cells``/``n_probe``; with
+``n_probe == n_cells`` the index is exhaustive and exactly matches
+brute force.  The index consumes a :class:`SimilarityIndex`'s candidate
+matrix, so it serves cosine and directional models alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.similarity import SimilarityIndex, _normalize_rows
+from repro.utils import ensure_rng, get_logger, require, require_positive
+
+logger = get_logger("core.ann")
+
+
+def kmeans(
+    vectors: np.ndarray,
+    n_clusters: int,
+    n_iter: int = 25,
+    seed: "int | np.random.Generator | None" = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns ``(centroids, assignments)``.  Empty clusters are re-seeded
+    from the points farthest from their current centroid.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    require(vectors.ndim == 2, "vectors must be 2-dimensional")
+    n = len(vectors)
+    require_positive(n_clusters, "n_clusters")
+    require(n_clusters <= n, f"n_clusters ({n_clusters}) must be <= points ({n})")
+    require_positive(n_iter, "n_iter")
+    rng = ensure_rng(seed)
+
+    # k-means++ seeding.
+    centroids = np.empty((n_clusters, vectors.shape[1]))
+    first = int(rng.integers(n))
+    centroids[0] = vectors[first]
+    closest = np.sum((vectors - centroids[0]) ** 2, axis=1)
+    for c in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0:
+            centroids[c] = vectors[int(rng.integers(n))]
+            continue
+        probs = closest / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[c] = vectors[choice]
+        closest = np.minimum(
+            closest, np.sum((vectors - centroids[c]) ** 2, axis=1)
+        )
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(n_iter):
+        # Assignment step (squared Euclidean via the expansion trick).
+        d2 = (
+            np.sum(vectors**2, axis=1)[:, None]
+            - 2.0 * vectors @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        new_assignments = np.argmin(d2, axis=1)
+        if np.array_equal(new_assignments, assignments):
+            assignments = new_assignments
+            break
+        assignments = new_assignments
+        for c in range(n_clusters):
+            members = vectors[assignments == c]
+            if len(members) > 0:
+                centroids[c] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the globally worst-served point.
+                worst = int(np.argmax(np.min(d2, axis=1)))
+                centroids[c] = vectors[worst]
+    return centroids, assignments
+
+
+class IVFIndex:
+    """Inverted-file ANN index over an existing similarity index.
+
+    Parameters
+    ----------
+    index:
+        The exact :class:`SimilarityIndex` whose candidates to serve.
+    n_cells:
+        Number of coarse k-means cells (default ``~sqrt(n_items)``).
+    n_probe:
+        Cells scanned per query (recall/latency knob).
+    seed:
+        k-means seeding.
+    """
+
+    def __init__(
+        self,
+        index: SimilarityIndex,
+        n_cells: int | None = None,
+        n_probe: int = 4,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        require_positive(n_probe, "n_probe")
+        self._exact = index
+        candidates = index._candidates
+        n = len(candidates)
+        if n_cells is None:
+            n_cells = max(1, int(np.sqrt(n)))
+        require_positive(n_cells, "n_cells")
+        require(n_cells <= n, "n_cells must be <= number of items")
+        self.n_cells = n_cells
+        self.n_probe = min(n_probe, n_cells)
+
+        self._centroids, assignments = kmeans(
+            _normalize_rows(candidates), n_cells, seed=seed
+        )
+        self._cells = [
+            np.flatnonzero(assignments == c).astype(np.int64)
+            for c in range(n_cells)
+        ]
+        self._candidates = candidates
+        self._item_ids = index.item_ids
+        occupied = sum(1 for cell in self._cells if len(cell))
+        logger.info(
+            "IVF index: %d items in %d cells (%d occupied), n_probe=%d",
+            n,
+            n_cells,
+            occupied,
+            self.n_probe,
+        )
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._exact
+
+    def topk(
+        self, item_id: int, k: int, n_probe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k`` for ``item_id`` scanning ``n_probe`` cells."""
+        require_positive(k, "k")
+        query = self._exact.query_vector(int(item_id))
+        return self._search(query, k, n_probe, exclude_item=int(item_id))
+
+    def topk_by_vector(
+        self, vector: np.ndarray, k: int, n_probe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k`` for an arbitrary query vector."""
+        require_positive(k, "k")
+        vector = np.asarray(vector, dtype=np.float64)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        return self._search(vector, k, n_probe, exclude_item=None)
+
+    def _search(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_probe: int | None,
+        exclude_item: int | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        probes = self.n_probe if n_probe is None else min(n_probe, self.n_cells)
+        cell_scores = self._centroids @ query
+        probe_cells = np.argpartition(-cell_scores, probes - 1)[:probes]
+        rows = np.concatenate([self._cells[int(c)] for c in probe_cells])
+        if len(rows) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        scores = self._candidates[rows] @ query
+        if exclude_item is not None:
+            scores[self._item_ids[rows] == exclude_item] = -np.inf
+        kk = min(k, len(rows))
+        top = np.argpartition(-scores, kk - 1)[:kk]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return self._item_ids[rows[top]], scores[top]
+
+    def recall_at_k(
+        self, queries: np.ndarray, k: int, n_probe: int | None = None
+    ) -> float:
+        """Fraction of exact top-``k`` results the ANN search recovers."""
+        require_positive(k, "k")
+        hits = 0
+        total = 0
+        for item_id in np.asarray(queries, dtype=np.int64):
+            exact_items, _ = self._exact.topk(int(item_id), k)
+            approx_items, _ = self.topk(int(item_id), k, n_probe=n_probe)
+            hits += len(set(exact_items.tolist()) & set(approx_items.tolist()))
+            total += len(exact_items)
+        if total == 0:
+            return 0.0
+        return hits / total

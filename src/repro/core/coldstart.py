@@ -1,0 +1,121 @@
+"""Cold-start recipes (Section IV-C of the paper).
+
+- **Cold-start items** (Eq. 6): a brand-new item ``v`` with no
+  interactions gets the inferred vector ``v = sum_k SI_k(v)`` — the sum of
+  the input vectors of its SI instances.  Retrieval then proceeds as for
+  any other query vector.
+- **Cold-start users**: a user with no history is served from the average
+  of all user-type input vectors whose type matches the user's known
+  demographics (e.g. all types containing "female" and "age 21-25").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.enrichment import si_token
+from repro.core.model import EmbeddingModel
+from repro.core.similarity import SimilarityIndex
+from repro.core.vocab import TokenKind
+from repro.data.schema import AGE_BUCKETS, GENDERS, PURCHASE_POWERS
+from repro.utils import require
+
+
+def infer_cold_item_vector(
+    model: EmbeddingModel, si_values: dict[str, int]
+) -> np.ndarray:
+    """Eq. 6: sum of the SI input vectors known for a brand-new item.
+
+    SI instances absent from the vocabulary (values never seen in
+    training) are skipped; at least one must be present.
+    """
+    vector = np.zeros(model.dim)
+    found = 0
+    for feature, value in si_values.items():
+        token = si_token(feature, value)
+        if model.has_token(token):
+            vector += model.vector(token)
+            found += 1
+    require(
+        found > 0,
+        "none of the item's SI instances are in the trained vocabulary;"
+        " cannot infer a cold-start vector",
+    )
+    return vector
+
+
+def recommend_for_cold_item(
+    model: EmbeddingModel,
+    index: SimilarityIndex,
+    si_values: dict[str, int],
+    k: int = 20,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` items for a new item described only by its SI (Fig. 6)."""
+    vector = infer_cold_item_vector(model, si_values)
+    return index.topk_by_vector(vector, k)
+
+
+def _matching_user_type_ids(
+    model: EmbeddingModel,
+    gender: str | None,
+    age_bucket: str | None,
+    purchase_power: str | None,
+) -> list[int]:
+    """Vocabulary ids of user-type tokens matching the given demographics."""
+    if gender is not None:
+        require(gender in GENDERS, f"unknown gender {gender!r}; expected {GENDERS}")
+    if age_bucket is not None:
+        require(
+            age_bucket in AGE_BUCKETS,
+            f"unknown age bucket {age_bucket!r}; expected {AGE_BUCKETS}",
+        )
+    if purchase_power is not None:
+        require(
+            purchase_power in PURCHASE_POWERS,
+            f"unknown purchase power {purchase_power!r}; expected"
+            f" {PURCHASE_POWERS}",
+        )
+    matches: list[int] = []
+    for vid in model.vocab.ids_of_kind(TokenKind.USER_TYPE):
+        gender_idx, age_idx, power_idx, _tags = model.vocab.payload_of(int(vid))
+        if gender is not None and GENDERS[gender_idx] != gender:
+            continue
+        if age_bucket is not None and AGE_BUCKETS[age_idx] != age_bucket:
+            continue
+        if purchase_power is not None and PURCHASE_POWERS[power_idx] != purchase_power:
+            continue
+        matches.append(int(vid))
+    return matches
+
+
+def cold_user_vector(
+    model: EmbeddingModel,
+    gender: str | None = None,
+    age_bucket: str | None = None,
+    purchase_power: str | None = None,
+) -> np.ndarray:
+    """Average of all user-type vectors matching the given demographics.
+
+    Passing no filters averages *all* user types (a population prior).
+    Raises ``ValueError`` when no trained user type matches.
+    """
+    matches = _matching_user_type_ids(model, gender, age_bucket, purchase_power)
+    require(
+        len(matches) > 0,
+        "no trained user type matches the requested demographics"
+        f" (gender={gender!r}, age={age_bucket!r}, power={purchase_power!r})",
+    )
+    return model.w_in[np.asarray(matches, dtype=np.int64)].mean(axis=0)
+
+
+def recommend_for_cold_user(
+    model: EmbeddingModel,
+    index: SimilarityIndex,
+    k: int = 20,
+    gender: str | None = None,
+    age_bucket: str | None = None,
+    purchase_power: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` items for a no-history user described by demographics (Fig. 4)."""
+    vector = cold_user_vector(model, gender, age_bucket, purchase_power)
+    return index.topk_by_vector(vector, k)

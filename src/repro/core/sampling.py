@@ -1,0 +1,246 @@
+"""Skip-gram pair sampling, frequent-token subsampling, negative sampling.
+
+Three pieces of the word2vec recipe, implemented exactly as the paper
+describes (Sections II-A, II-C and III-C):
+
+- **Window sampling** with either the symmetric window ``W_m(v_i)`` or,
+  for the directional model, the *right* context window only.  The
+  classic word2vec "dynamic window" (effective window size uniform in
+  ``1..m``) is reproduced in expectation by keeping an offset-``d`` pair
+  with probability ``(m - d + 1) / m``.
+- **Subsampling of frequent tokens** with the word2vec keep probability
+  ``(sqrt(f/t) + 1) * t / f`` where ``f`` is the relative frequency and
+  ``t`` the threshold.  The paper applies this aggressively to hot SI
+  tokens.
+- **Negative sampling** from the unigram distribution raised to
+  ``alpha = 0.75``, drawn in O(1) per sample via the Walker alias method.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils import ensure_rng, require, require_in_range, require_positive
+
+
+class AliasSampler:
+    """O(1) sampling from a discrete distribution (Walker's alias method).
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weights; normalized internally.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        require(weights.ndim == 1, "weights must be one-dimensional")
+        require(len(weights) > 0, "weights must be non-empty")
+        require(bool(np.all(weights >= 0)), "weights must be non-negative")
+        total = float(weights.sum())
+        require(total > 0, "weights must not all be zero")
+
+        n = len(weights)
+        prob = weights * (n / total)
+        alias = np.zeros(n, dtype=np.int64)
+        accept = np.zeros(n, dtype=np.float64)
+
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            accept[s] = prob[s]
+            alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for leftover in large + small:
+            accept[leftover] = 1.0
+            alias[leftover] = leftover
+
+        self._accept = accept
+        self._alias = alias
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(
+        self, shape: "int | tuple[int, ...]", rng: "int | np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """Draw samples of the given shape."""
+        rng = ensure_rng(rng)
+        idx = rng.integers(0, self._n, size=shape)
+        coin = rng.random(size=idx.shape)
+        return np.where(coin < self._accept[idx], idx, self._alias[idx])
+
+
+def build_noise_distribution(counts: np.ndarray, alpha: float = 0.75) -> np.ndarray:
+    """Normalized noise distribution ``P(v) ~ freq(v)^alpha`` (Sec. III-C)."""
+    require_in_range(alpha, "alpha", 0.0, 1.0)
+    counts = np.asarray(counts, dtype=np.float64)
+    require(len(counts) > 0, "counts must be non-empty")
+    require(bool(np.all(counts >= 0)), "counts must be non-negative")
+    weights = counts ** alpha
+    total = weights.sum()
+    require(total > 0, "at least one token must have positive count")
+    return weights / total
+
+
+def subsample_keep_probabilities(
+    counts: np.ndarray, threshold: float = 1e-3
+) -> np.ndarray:
+    """Word2vec keep probability per token.
+
+    ``p_keep(v) = (sqrt(f/t) + 1) * t / f`` clipped to [0, 1], with ``f``
+    the relative frequency of ``v`` and ``t`` the threshold.  Tokens with
+    zero count keep probability 1 (they never occur anyway).  A
+    ``threshold <= 0`` disables subsampling (all ones).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if threshold <= 0:
+        return np.ones(len(counts), dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.ones(len(counts), dtype=np.float64)
+    freq = counts / total
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = threshold / freq
+        keep = np.sqrt(1.0 / ratio) * ratio + ratio
+    keep[counts == 0] = 1.0
+    return np.clip(keep, 0.0, 1.0)
+
+
+class PairGenerator:
+    """Streams (center, context) skip-gram pairs from an encoded corpus.
+
+    Parameters
+    ----------
+    sequences:
+        Encoded sequences (``int64`` arrays of token ids).
+    window:
+        Maximum window size ``m``.
+    directional:
+        When True, pairs are sampled from the right context window only
+        (Section II-C), i.e. the center always *precedes* the context.
+    keep_probabilities:
+        Optional per-token keep probability for frequent-token
+        subsampling, applied to the sequence *before* windowing (the
+        word2vec discard-then-window order, which widens effective
+        contexts across discarded tokens).
+    dynamic_window:
+        Emulate word2vec's dynamic window: an offset-``d`` pair survives
+        with probability ``(m - d + 1) / m``.
+    seed:
+        Randomness for subsampling and the dynamic window.
+    """
+
+    def __init__(
+        self,
+        sequences: list[np.ndarray],
+        window: int = 5,
+        directional: bool = False,
+        keep_probabilities: np.ndarray | None = None,
+        dynamic_window: bool = True,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        require_positive(window, "window")
+        self.sequences = sequences
+        self.window = window
+        self.directional = directional
+        self.keep_probabilities = keep_probabilities
+        self.dynamic_window = dynamic_window
+        self._rng = ensure_rng(seed)
+
+    def _subsample(self, seq: np.ndarray) -> np.ndarray:
+        if self.keep_probabilities is None:
+            return seq
+        mask = self._rng.random(len(seq)) < self.keep_probabilities[seq]
+        return seq[mask]
+
+    def pairs_of_sequence(self, seq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All pairs of one (already subsampled) sequence, vectorized.
+
+        Returns ``(centers, contexts)`` arrays.  For each offset ``d`` in
+        ``1..m`` the aligned slices ``seq[:-d]`` / ``seq[d:]`` give the
+        "center precedes context" pairs; the symmetric window adds the
+        mirrored pairs.
+        """
+        centers: list[np.ndarray] = []
+        contexts: list[np.ndarray] = []
+        length = len(seq)
+        for offset in range(1, min(self.window, length - 1) + 1):
+            left = seq[:-offset]
+            right = seq[offset:]
+            if self.dynamic_window:
+                keep_p = (self.window - offset + 1) / self.window
+                mask = self._rng.random(len(left)) < keep_p
+                left, right = left[mask], right[mask]
+            centers.append(left)
+            contexts.append(right)
+            if not self.directional:
+                centers.append(right)
+                contexts.append(left)
+        if not centers:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(centers), np.concatenate(contexts)
+
+    def batches(self, batch_size: int = 8192) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(centers, contexts)`` batches of roughly ``batch_size``.
+
+        One pass over the corpus = one epoch.  Pairs from consecutive
+        sequences are buffered and re-chunked so batch sizes stay stable
+        regardless of sequence lengths.
+        """
+        require_positive(batch_size, "batch_size")
+        buf_centers: list[np.ndarray] = []
+        buf_contexts: list[np.ndarray] = []
+        buffered = 0
+        for seq in self.sequences:
+            seq = self._subsample(seq)
+            if len(seq) < 2:
+                continue
+            c, x = self.pairs_of_sequence(seq)
+            if len(c) == 0:
+                continue
+            buf_centers.append(c)
+            buf_contexts.append(x)
+            buffered += len(c)
+            if buffered >= batch_size:
+                centers = np.concatenate(buf_centers)
+                contexts = np.concatenate(buf_contexts)
+                for start in range(0, len(centers) - batch_size + 1, batch_size):
+                    yield (
+                        centers[start : start + batch_size],
+                        contexts[start : start + batch_size],
+                    )
+                remainder = len(centers) % batch_size
+                if remainder:
+                    buf_centers = [centers[-remainder:]]
+                    buf_contexts = [contexts[-remainder:]]
+                else:
+                    buf_centers, buf_contexts = [], []
+                buffered = remainder
+        if buffered:
+            yield np.concatenate(buf_centers), np.concatenate(buf_contexts)
+
+    def count_pairs(self) -> int:
+        """Expected pair count without subsampling or dynamic windowing.
+
+        A cheap upper bound used for learning-rate scheduling; the exact
+        realized count varies run to run because subsampling and the
+        dynamic window are stochastic.
+        """
+        total = 0
+        sides = 1 if self.directional else 2
+        for seq in self.sequences:
+            length = len(seq)
+            for offset in range(1, min(self.window, length - 1) + 1):
+                total += (length - offset) * sides
+        return total

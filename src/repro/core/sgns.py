@@ -1,0 +1,289 @@
+"""Single-machine Skip-Gram with Negative Sampling (Eq. 3 of the paper).
+
+The trainer maximizes::
+
+    sum_{(i,j) in D_p} log sigmoid(w_i . c_j)
+      + sum_{(i,t) in D_n} log sigmoid(-w_i . c_t)
+
+with minibatched SGD over vectorized NumPy updates.  Conventions follow
+the reference word2vec implementation: input vectors initialized uniformly
+in ``[-0.5/d, 0.5/d)``, output vectors initialized to zero, and a linear
+learning-rate decay from ``lr`` down to ``min_lr_fraction * lr`` over the
+whole training run.
+
+This trainer is also the arithmetic ground truth for the distributed
+engine: :mod:`repro.distributed.tns` runs the same update rule with the
+parameter matrices partitioned across simulated workers, and the
+integration tests check the two reach equivalent retrieval quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampling import (
+    AliasSampler,
+    PairGenerator,
+    build_noise_distribution,
+    subsample_keep_probabilities,
+)
+from repro.utils import (
+    ensure_rng,
+    get_logger,
+    require_in_range,
+    require_positive,
+)
+
+logger = get_logger("core.sgns")
+
+
+@dataclass
+class SGNSConfig:
+    """Hyper-parameters of the SGNS trainer.
+
+    Attributes mirror Section IV-A of the paper: the production setting is
+    ``dim=128, epochs=2, negatives=20, window adjusted to cover whole
+    sequences``; scaled-down defaults here keep tests fast.
+    """
+
+    dim: int = 32
+    window: int = 5
+    negatives: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.025
+    min_lr_fraction: float = 1e-2
+    batch_size: int = 4096
+    subsample_threshold: float = 1e-3
+    noise_alpha: float = 0.75
+    directional: bool = False
+    dynamic_window: bool = True
+    duplicate_policy: str = "sum"
+    max_step_norm: float | None = 0.25
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any inconsistent setting."""
+        require_positive(self.dim, "dim")
+        require_positive(self.window, "window")
+        require_positive(self.negatives, "negatives")
+        require_positive(self.epochs, "epochs")
+        require_positive(self.learning_rate, "learning_rate")
+        require_in_range(self.min_lr_fraction, "min_lr_fraction", 0.0, 1.0)
+        require_positive(self.batch_size, "batch_size")
+        require_in_range(self.noise_alpha, "noise_alpha", 0.0, 1.0)
+        if self.duplicate_policy not in ("mean", "sum"):
+            raise ValueError(
+                "duplicate_policy must be 'mean' or 'sum', got"
+                f" {self.duplicate_policy!r}"
+            )
+        if self.max_step_norm is not None:
+            require_positive(self.max_step_norm, "max_step_norm")
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def scatter_update(
+    matrix: np.ndarray,
+    indices: np.ndarray,
+    grads: np.ndarray,
+    lr: float,
+    duplicate_policy: str = "sum",
+    max_step_norm: float | None = 0.25,
+) -> None:
+    """Apply ``matrix[indices] -= lr * grads`` with duplicate handling.
+
+    Sequential word2vec updates one pair at a time: a token occurring
+    ``k`` times moves by ``k`` *fresh* gradients, each re-evaluated after
+    the previous step, so hot tokens never overshoot.  A vectorized batch
+    evaluates all ``k`` gradients at the same stale weights; naively
+    summing them can overshoot catastrophically for very hot tokens (a
+    leaf-category SI token appears hundreds of times in one batch,
+    multiplying the effective step by hundreds).
+
+    The default policy ``"sum"`` keeps the word2vec semantics but clips
+    the *aggregated* per-token step to ``max_step_norm`` — mimicking the
+    self-limiting behaviour of sequential updates.  Policy ``"mean"``
+    averages duplicate gradients instead (smaller steps; mainly useful
+    for experiments).  Shared by the SGNS trainer, the EGES baseline and
+    the distributed workers, so all trainers move parameters the same
+    way.
+    """
+    unique, inverse, counts = np.unique(
+        indices, return_inverse=True, return_counts=True
+    )
+    summed = np.zeros((len(unique), matrix.shape[1]))
+    np.add.at(summed, inverse, grads)
+    if duplicate_policy == "mean":
+        summed /= counts[:, None]
+    step = lr * summed
+    if max_step_norm is not None:
+        norms = np.linalg.norm(step, axis=1, keepdims=True)
+        np.maximum(norms, max_step_norm, out=norms)
+        step *= max_step_norm / norms
+    matrix[unique] -= step
+
+
+class SGNSTrainer:
+    """Trains input/output embeddings over an encoded corpus.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of tokens; fixes the embedding matrix shapes.
+    config:
+        Hyper-parameters (validated eagerly).
+
+    Attributes
+    ----------
+    w_in, w_out:
+        The input and output embedding matrices, ``(vocab_size, dim)``.
+        ``w_out`` is what the paper calls the output vectors ``v'``; the
+        directional similarity uses both matrices.
+    """
+
+    def __init__(self, vocab_size: int, config: SGNSConfig | None = None) -> None:
+        require_positive(vocab_size, "vocab_size")
+        self.config = config or SGNSConfig()
+        self.config.validate()
+        self.vocab_size = vocab_size
+        rng = ensure_rng(self.config.seed)
+        d = self.config.dim
+        self.w_in = (rng.random((vocab_size, d)) - 0.5) / d
+        self.w_out = np.zeros((vocab_size, d))
+        self._rng = rng
+        self.loss_history: list[float] = []
+
+    def fit(
+        self,
+        sequences: list[np.ndarray],
+        counts: np.ndarray,
+        keep_probabilities: np.ndarray | None = None,
+    ) -> "SGNSTrainer":
+        """Run ``epochs`` passes of SGD over ``sequences``.
+
+        Parameters
+        ----------
+        sequences:
+            Encoded sequences; token ids must be < ``vocab_size``.
+        counts:
+            Corpus frequency per token id, used for the noise
+            distribution and subsampling.
+        keep_probabilities:
+            Optional per-token subsampling keep probability, overriding
+            the one derived from ``counts`` and
+            ``config.subsample_threshold``.  Used by SISG to subsample SI
+            tokens more aggressively than items (Section III-C of the
+            paper; see :func:`repro.core.sisg.kind_aware_keep`).
+        """
+        cfg = self.config
+        counts = np.asarray(counts, dtype=np.int64)
+        if len(counts) != self.vocab_size:
+            raise ValueError(
+                f"counts has length {len(counts)}, expected {self.vocab_size}"
+            )
+        noise = build_noise_distribution(counts, cfg.noise_alpha)
+        sampler = AliasSampler(noise)
+        if keep_probabilities is None:
+            keep = subsample_keep_probabilities(counts, cfg.subsample_threshold)
+        else:
+            if len(keep_probabilities) != self.vocab_size:
+                raise ValueError(
+                    "keep_probabilities has length"
+                    f" {len(keep_probabilities)}, expected {self.vocab_size}"
+                )
+            keep = np.asarray(keep_probabilities, dtype=np.float64)
+
+        generator = PairGenerator(
+            sequences,
+            window=cfg.window,
+            directional=cfg.directional,
+            keep_probabilities=keep,
+            dynamic_window=cfg.dynamic_window,
+            seed=self._rng,
+        )
+        # Learning-rate schedule over the expected total number of pairs.
+        total_pairs = max(generator.count_pairs() * cfg.epochs, 1)
+        min_lr = cfg.learning_rate * cfg.min_lr_fraction
+        seen = 0
+
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            epoch_pairs = 0
+            for centers, contexts in generator.batches(cfg.batch_size):
+                progress = min(seen / total_pairs, 1.0)
+                lr = cfg.learning_rate + (min_lr - cfg.learning_rate) * progress
+                loss = self._update_batch(centers, contexts, sampler, lr)
+                batch = len(centers)
+                seen += batch
+                epoch_loss += loss * batch
+                epoch_pairs += batch
+            mean_loss = epoch_loss / max(epoch_pairs, 1)
+            self.loss_history.append(mean_loss)
+            logger.info(
+                "epoch %d/%d: %d pairs, mean loss %.4f",
+                epoch + 1,
+                cfg.epochs,
+                epoch_pairs,
+                mean_loss,
+            )
+        return self
+
+    def _update_batch(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        sampler: AliasSampler,
+        lr: float,
+    ) -> float:
+        """One SGD step over a batch of positive pairs; returns mean loss."""
+        cfg = self.config
+        w_c = self.w_in[centers]
+        c_pos = self.w_out[contexts]
+
+        pos_logit = np.einsum("bd,bd->b", w_c, c_pos)
+        pos_sig = sigmoid(pos_logit)
+        g_pos = pos_sig - 1.0  # d(-log sigmoid(x))/dx
+
+        negatives = sampler.sample((len(centers), cfg.negatives), self._rng)
+        c_neg = self.w_out[negatives]
+        neg_logit = np.einsum("bd,bnd->bn", w_c, c_neg)
+        neg_sig = sigmoid(neg_logit)
+        g_neg = neg_sig  # d(-log sigmoid(-x))/dx
+
+        grad_w = g_pos[:, None] * c_pos + np.einsum("bn,bnd->bd", g_neg, c_neg)
+        grad_c_pos = g_pos[:, None] * w_c
+        grad_c_neg = g_neg[..., None] * w_c[:, None, :]
+
+        self._scatter(self.w_in, centers, grad_w, lr)
+        self._scatter(self.w_out, contexts, grad_c_pos, lr)
+        self._scatter(
+            self.w_out, negatives.ravel(), grad_c_neg.reshape(-1, cfg.dim), lr
+        )
+
+        with np.errstate(divide="ignore"):
+            loss = -np.log(np.maximum(pos_sig, 1e-12)).mean()
+            loss += -np.log(np.maximum(1.0 - neg_sig, 1e-12)).sum(axis=1).mean()
+        return float(loss)
+
+    def _scatter(
+        self, matrix: np.ndarray, indices: np.ndarray, grads: np.ndarray, lr: float
+    ) -> None:
+        """Delegate to :func:`scatter_update` with this trainer's policy."""
+        scatter_update(
+            matrix,
+            indices,
+            grads,
+            lr,
+            duplicate_policy=self.config.duplicate_policy,
+            max_step_norm=self.config.max_step_norm,
+        )

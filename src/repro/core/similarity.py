@@ -1,0 +1,165 @@
+"""Item-to-item similarity and top-K retrieval (the matching stage).
+
+Two scoring modes, matching Section II-C of the paper:
+
+- ``cosine`` — the standard choice for symmetric models: cosine between
+  *input* vectors.
+- ``directional`` — for the asymmetry-aware model: the similarity of the
+  ordered pair ``(v_i, v_j)`` is the cosine of ``v_i`` and ``v'_j`` (input
+  vector of the query against the *output* vector of the candidate), which
+  preserves the learned transition direction; ``sim(i, j) != sim(j, i)``
+  in general.  The paper computes ``v_i^T v'_j`` under its blanket "all
+  similarities are standard cosine similarity" convention; normalizing is
+  also essential in practice because output-vector norms correlate
+  strongly with item popularity, and raw inner products would rank hot
+  items above the true forward neighbours.
+
+The index pre-extracts the item rows of the embedding matrices so queries
+are dense matrix products followed by an ``argpartition`` top-K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import EmbeddingModel
+from repro.core.vocab import TokenKind
+from repro.utils import require, require_positive
+
+_MODES = ("cosine", "directional")
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows; zero rows stay zero."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms
+
+
+class SimilarityIndex:
+    """Top-K retrieval over the item tokens of an embedding model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.model.EmbeddingModel`.
+    mode:
+        ``"cosine"`` or ``"directional"`` (see module docstring).
+    """
+
+    def __init__(self, model: EmbeddingModel, mode: str = "cosine") -> None:
+        require(mode in _MODES, f"mode must be one of {_MODES}, got {mode!r}")
+        self.model = model
+        self.mode = mode
+
+        item_vids = model.vocab.ids_of_kind(TokenKind.ITEM)
+        require(len(item_vids) > 0, "model contains no item tokens")
+        self._item_vids = item_vids
+        self._item_ids = np.asarray(
+            [model.vocab.item_id_of(int(v)) for v in item_vids], dtype=np.int64
+        )
+        self._vid_row = {int(v): row for row, v in enumerate(item_vids)}
+        self._item_row = {int(i): row for row, i in enumerate(self._item_ids)}
+
+        if mode == "cosine":
+            self._queries = _normalize_rows(model.w_in[item_vids])
+            self._candidates = self._queries
+        else:
+            self._queries = _normalize_rows(model.w_in[item_vids])
+            self._candidates = _normalize_rows(model.w_out[item_vids])
+
+    @property
+    def n_items(self) -> int:
+        """Number of items in the index."""
+        return len(self._item_ids)
+
+    @property
+    def item_ids(self) -> np.ndarray:
+        """Item ids covered by the index, in row order."""
+        return self._item_ids
+
+    def __contains__(self, item_id: int) -> bool:
+        return int(item_id) in self._item_row
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def score(self, query_item: int, candidate_item: int) -> float:
+        """Similarity of the *ordered* pair ``(query, candidate)``."""
+        q = self._queries[self._item_row[int(query_item)]]
+        c = self._candidates[self._item_row[int(candidate_item)]]
+        return float(q @ c)
+
+    def query_vector(self, item_id: int) -> np.ndarray:
+        """The query-side vector of ``item_id`` as used by this index."""
+        return self._queries[self._item_row[int(item_id)]]
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+
+    def topk(
+        self, item_id: int, k: int, exclude_query: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` most similar items to ``item_id``.
+
+        Returns ``(item_ids, scores)`` sorted by descending score.
+        """
+        row = self._item_row.get(int(item_id))
+        if row is None:
+            raise KeyError(f"item {item_id} is not in the index")
+        exclude = row if exclude_query else None
+        ids, scores = self._topk_scores(self._queries[row], k, exclude_row=exclude)
+        return ids, scores
+
+    def topk_by_vector(self, vector: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` items for an arbitrary query vector (e.g. cold start).
+
+        In cosine mode the vector is normalized before scoring.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        return self._topk_scores(vector, k, exclude_row=None)
+
+    def _topk_scores(
+        self, query: np.ndarray, k: int, exclude_row: int | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        require_positive(k, "k")
+        scores = self._candidates @ query
+        if exclude_row is not None:
+            scores[exclude_row] = -np.inf
+        k = min(k, len(scores) - (1 if exclude_row is not None else 0))
+        if k <= 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return self._item_ids[top], scores[top]
+
+    def topk_batch(
+        self, item_ids: np.ndarray, k: int, exclude_query: bool = True
+    ) -> np.ndarray:
+        """Top-``k`` retrieval for many queries at once.
+
+        Returns an ``(len(item_ids), k)`` array of recommended item ids
+        (padded with ``-1`` when fewer than ``k`` candidates exist).  Used
+        by the HitRate evaluator, where per-query calls would dominate
+        runtime.
+        """
+        require_positive(k, "k")
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        rows = np.asarray([self._item_row[int(i)] for i in item_ids], dtype=np.int64)
+        scores = self._queries[rows] @ self._candidates.T
+        if exclude_query:
+            scores[np.arange(len(rows)), rows] = -np.inf
+        avail = scores.shape[1] - (1 if exclude_query else 0)
+        kk = min(k, avail)
+        top = np.argpartition(-scores, kk - 1, axis=1)[:, :kk]
+        row_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(-row_scores, axis=1, kind="stable")
+        top = np.take_along_axis(top, order, axis=1)
+        result = np.full((len(item_ids), k), -1, dtype=np.int64)
+        result[:, :kk] = self._item_ids[top]
+        return result

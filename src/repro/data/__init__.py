@@ -1,0 +1,48 @@
+"""Datasets: the synthetic Taobao-like world, loaders, and corpus statistics.
+
+The paper's offline experiments run on proprietary Taobao click logs
+(Taobao25M / Taobao100M / Taobao800M).  This package provides:
+
+- :mod:`repro.data.schema` — the item/user/session record types and the
+  side-information (SI) feature definitions from Table I of the paper.
+- :mod:`repro.data.synthetic` — a generative model of a Taobao-like
+  marketplace that produces behavior sequences with the three properties
+  the paper's methods exploit (long-tail sparsity, demographic-conditioned
+  preferences, and asymmetric transitions).
+- :mod:`repro.data.userbehavior` — a loader for the public Alibaba
+  "UserBehavior" CSV format, for users who have the real dump on disk.
+- :mod:`repro.data.stats` — corpus statistics in the shape of Table II.
+"""
+
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    AGE_BUCKETS,
+    GENDERS,
+    PURCHASE_POWERS,
+    USER_TAGS,
+    ItemMeta,
+    UserMeta,
+    Session,
+    BehaviorDataset,
+)
+from repro.data.synthetic import SyntheticWorldConfig, SyntheticWorld, generate_dataset
+from repro.data.stats import CorpusStats, compute_corpus_stats
+from repro.data.userbehavior import load_userbehavior_csv
+
+__all__ = [
+    "ITEM_SI_FEATURES",
+    "AGE_BUCKETS",
+    "GENDERS",
+    "PURCHASE_POWERS",
+    "USER_TAGS",
+    "ItemMeta",
+    "UserMeta",
+    "Session",
+    "BehaviorDataset",
+    "SyntheticWorldConfig",
+    "SyntheticWorld",
+    "generate_dataset",
+    "CorpusStats",
+    "compute_corpus_stats",
+    "load_userbehavior_csv",
+]

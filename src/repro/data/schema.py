@@ -1,0 +1,242 @@
+"""Record types for items, users and behavior sequences.
+
+The side-information (SI) feature names follow Table I of the paper:
+
+=======  =====================================================================
+Entity   Features
+=======  =====================================================================
+Item     ``top_level_category``, ``leaf_category``, ``shop``, ``city``,
+         ``brand``, ``style``, ``material``,
+         ``age_gender_purchase_level`` (cross feature)
+User     ``age_gender`` (cross feature), ``user_tags``
+=======  =====================================================================
+
+All features take discrete integer values; in training sequences they are
+encoded as ``[FeatureName]_[FeatureValue]`` tokens (e.g.
+``leaf_category_1234``), and a user type is encoded as
+``UT_[gender]_[age]_[tags]`` (e.g. ``UT_F_19-25_married_haschildren``).
+Token rendering lives in :mod:`repro.core.enrichment`; this module only
+defines the data carriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Item SI feature names, in the order they are injected into sequences.
+ITEM_SI_FEATURES: tuple[str, ...] = (
+    "top_level_category",
+    "leaf_category",
+    "shop",
+    "city",
+    "brand",
+    "style",
+    "material",
+    "age_gender_purchase_level",
+)
+
+#: User demographic vocabularies used for user types.
+GENDERS: tuple[str, ...] = ("F", "M")
+AGE_BUCKETS: tuple[str, ...] = ("18-24", "25-30", "31-35", "36-45", "46-60")
+PURCHASE_POWERS: tuple[str, ...] = ("low", "mid", "high")
+USER_TAGS: tuple[str, ...] = (
+    "married",
+    "haschildren",
+    "hascar",
+    "student",
+    "petowner",
+    "gamer",
+)
+
+
+@dataclass(frozen=True)
+class ItemMeta:
+    """Metadata for one item.
+
+    ``si_values`` maps each feature name in :data:`ITEM_SI_FEATURES` to its
+    integer value for this item.
+    """
+
+    item_id: int
+    si_values: dict[str, int]
+
+    def __post_init__(self) -> None:
+        missing = [f for f in ITEM_SI_FEATURES if f not in self.si_values]
+        if missing:
+            raise ValueError(f"item {self.item_id} missing SI features: {missing}")
+
+    @property
+    def leaf_category(self) -> int:
+        return self.si_values["leaf_category"]
+
+    @property
+    def top_category(self) -> int:
+        return self.si_values["top_level_category"]
+
+
+@dataclass(frozen=True)
+class UserMeta:
+    """Metadata for one user.
+
+    ``gender_idx``/``age_idx``/``power_idx`` index into :data:`GENDERS`,
+    :data:`AGE_BUCKETS` and :data:`PURCHASE_POWERS`; ``tag_indices`` is a
+    sorted tuple of indices into :data:`USER_TAGS`.
+    """
+
+    user_id: int
+    gender_idx: int
+    age_idx: int
+    power_idx: int
+    tag_indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gender_idx < len(GENDERS):
+            raise ValueError(f"gender_idx out of range: {self.gender_idx}")
+        if not 0 <= self.age_idx < len(AGE_BUCKETS):
+            raise ValueError(f"age_idx out of range: {self.age_idx}")
+        if not 0 <= self.power_idx < len(PURCHASE_POWERS):
+            raise ValueError(f"power_idx out of range: {self.power_idx}")
+        for t in self.tag_indices:
+            if not 0 <= t < len(USER_TAGS):
+                raise ValueError(f"tag index out of range: {t}")
+        if tuple(sorted(self.tag_indices)) != tuple(self.tag_indices):
+            raise ValueError("tag_indices must be sorted")
+
+    @property
+    def gender(self) -> str:
+        return GENDERS[self.gender_idx]
+
+    @property
+    def age_bucket(self) -> str:
+        return AGE_BUCKETS[self.age_idx]
+
+    @property
+    def purchase_power(self) -> str:
+        return PURCHASE_POWERS[self.power_idx]
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        return tuple(USER_TAGS[t] for t in self.tag_indices)
+
+    def demographic_key(self) -> tuple[int, int, int]:
+        """The (gender, age, purchase-power) triple identifying the cohort."""
+        return (self.gender_idx, self.age_idx, self.power_idx)
+
+
+@dataclass
+class Session:
+    """One user behavior sequence (one browsing session).
+
+    Items are ordered by click time, left to right — the order matters for
+    the directional (asymmetry-aware) models.
+    """
+
+    user_id: int
+    items: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+class BehaviorDataset:
+    """A complete behavior dataset: items, users and their sessions.
+
+    Parameters
+    ----------
+    items:
+        Item metadata, indexed by ``item_id`` (``items[i].item_id == i``).
+    users:
+        User metadata, indexed by ``user_id``.
+    sessions:
+        Behavior sequences.  Each session's ``user_id`` must reference a
+        user in ``users`` and each item id an entry in ``items``.
+    validate:
+        When True (default), referential integrity is checked eagerly.
+    """
+
+    def __init__(
+        self,
+        items: list[ItemMeta],
+        users: list[UserMeta],
+        sessions: list[Session],
+        validate: bool = True,
+    ) -> None:
+        self.items = items
+        self.users = users
+        self.sessions = sessions
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        for idx, item in enumerate(self.items):
+            if item.item_id != idx:
+                raise ValueError(
+                    f"items must be indexed by item_id: items[{idx}].item_id"
+                    f" == {item.item_id}"
+                )
+        for idx, user in enumerate(self.users):
+            if user.user_id != idx:
+                raise ValueError(
+                    f"users must be indexed by user_id: users[{idx}].user_id"
+                    f" == {user.user_id}"
+                )
+        n_items, n_users = len(self.items), len(self.users)
+        for session in self.sessions:
+            if not 0 <= session.user_id < n_users:
+                raise ValueError(f"session references unknown user {session.user_id}")
+            for item_id in session.items:
+                if not 0 <= item_id < n_items:
+                    raise ValueError(f"session references unknown item {item_id}")
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.sessions)
+
+    def item_si(self, item_id: int) -> dict[str, int]:
+        """Return the SI feature mapping for ``item_id``."""
+        return self.items[item_id].si_values
+
+    def leaf_of(self, item_id: int) -> int:
+        """Return the leaf category of ``item_id``."""
+        return self.items[item_id].leaf_category
+
+    def sessions_of_user(self, user_id: int) -> list[Session]:
+        """All sessions belonging to ``user_id`` (linear scan; test helper)."""
+        return [s for s in self.sessions if s.user_id == user_id]
+
+    def split_last_item(
+        self, min_length: int = 3
+    ) -> tuple["BehaviorDataset", list[Session]]:
+        """Split for the next-item evaluation protocol (Section IV-A).
+
+        For every session of length >= ``min_length`` the last item is held
+        out; training uses the prefix.  Shorter sessions go to training
+        unchanged.  Returns ``(train_dataset, test_sessions)`` where each
+        test session is the *full* original sequence (the evaluator uses
+        ``items[-2]`` as query and ``items[-1]`` as label).
+        """
+        if min_length < 2:
+            raise ValueError(f"min_length must be >= 2, got {min_length}")
+        train_sessions: list[Session] = []
+        test_sessions: list[Session] = []
+        for session in self.sessions:
+            if len(session) >= min_length:
+                train_sessions.append(
+                    Session(session.user_id, session.items[:-1])
+                )
+                test_sessions.append(session)
+            else:
+                train_sessions.append(session)
+        train = BehaviorDataset(self.items, self.users, train_sessions, validate=False)
+        return train, test_sessions

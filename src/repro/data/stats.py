@@ -1,0 +1,113 @@
+"""Corpus statistics in the shape of Table II of the paper.
+
+Table II reports, per dataset: the number of items, the number of SI
+feature types, the number of distinct user types, the total token count of
+the enriched corpus, the number of positive skip-gram pairs, and the
+number of training pairs (positives plus negatives, with the production
+negatives ratio of 20).  :func:`compute_corpus_stats` derives all of these
+from a :class:`~repro.data.schema.BehaviorDataset` and the training
+configuration, without materializing the pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import ITEM_SI_FEATURES, BehaviorDataset
+from repro.utils import require_positive
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """The Table-II row for one dataset."""
+
+    n_items: int
+    n_si: int
+    n_user_types: int
+    n_tokens: int
+    n_positive_pairs: int
+    n_training_pairs: int
+
+    def as_row(self) -> dict[str, int]:
+        """Dictionary with the Table II column labels."""
+        return {
+            "#Items": self.n_items,
+            "#SI": self.n_si,
+            "#User types": self.n_user_types,
+            "#Tokens": self.n_tokens,
+            "#Positive pairs": self.n_positive_pairs,
+            "#Training pairs": self.n_training_pairs,
+        }
+
+
+def _pair_count(length: int, window: int, directional: bool) -> int:
+    """Number of skip-gram pairs in a sequence of ``length`` tokens.
+
+    With a symmetric window each position pairs with up to ``window``
+    neighbours on each side; with a directional (right-only) window, only
+    the right side contributes.
+    """
+    total = 0
+    for i in range(length):
+        right = min(window, length - 1 - i)
+        total += right
+        if not directional:
+            total += min(window, i)
+    return total
+
+
+def compute_corpus_stats(
+    dataset: BehaviorDataset,
+    window: int = 5,
+    negatives: int = 20,
+    directional: bool = True,
+    with_si: bool = True,
+    with_user_types: bool = True,
+) -> CorpusStats:
+    """Compute the Table-II statistics for ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The behavior dataset.
+    window:
+        Skip-gram context window used to count positive pairs.
+    negatives:
+        Negatives-per-positive ratio (the paper uses 20 in production).
+    directional:
+        Count pairs from the right context window only (the SISG-D
+        setting) or from the symmetric window.
+    with_si, with_user_types:
+        Whether sequences are enriched with item SI tokens and the
+        trailing user-type token (Eq. 4); affects token and pair counts.
+    """
+    require_positive(window, "window")
+    require_positive(negatives, "negatives", strict=False)
+
+    n_si = len(ITEM_SI_FEATURES) if with_si else 0
+    tokens_per_item = 1 + n_si
+
+    appearing_items: set[int] = set()
+    user_types: set[tuple[int, int, int, tuple[int, ...]]] = set()
+    n_tokens = 0
+    n_pairs = 0
+    for session in dataset.sessions:
+        appearing_items.update(session.items)
+        length = len(session) * tokens_per_item
+        if with_user_types:
+            length += 1
+            user = dataset.users[session.user_id]
+            user_types.add(
+                (user.gender_idx, user.age_idx, user.power_idx, user.tag_indices)
+            )
+        n_tokens += length
+        n_pairs += _pair_count(length, window, directional)
+
+    return CorpusStats(
+        n_items=len(appearing_items),
+        n_si=n_si,
+        n_user_types=len(user_types),
+        n_tokens=n_tokens,
+        n_positive_pairs=n_pairs,
+        n_training_pairs=n_pairs * (1 + negatives),
+    )

@@ -1,0 +1,552 @@
+"""A generative model of a Taobao-like marketplace.
+
+The paper's offline and online experiments run on proprietary click logs.
+This module substitutes a synthetic world that reproduces, as explicit and
+tunable mechanisms, the three statistical properties those logs have and
+that SISG's components exploit:
+
+1. **Long-tail sparsity** — item popularity within each leaf category is
+   Zipf-distributed and leaf sizes are themselves Zipf-distributed, so most
+   items appear in very few (or zero) training sequences.  This is the
+   regime where side information must help (Table III: SISG-F vs SGNS).
+
+2. **Demographic-conditioned preferences** — each leaf category carries a
+   target demographic profile (gender/age/purchase-power match factors);
+   users sample the leaf for a session proportionally to their affinity.
+   This is the signal user-type tokens must pick up (SISG-U).
+
+3. **Asymmetric transitions** — items in a leaf are ordered along a latent
+   "browse progression" axis (think: search result page -> detail ->
+   accessory -> upsell).  Session steps move *forward* along the axis with
+   high probability, so the probability of clicking ``B`` after ``A`` is
+   very different from ``A`` after ``B``.  This is the structure the
+   directional model must capture (SISG-F-U-D).
+
+Category coherence within sessions (most sessions stay inside one leaf
+category, with occasional hops to a *related* leaf) is the property HBGP
+(Section III-B of the paper) exploits to cut communication costs.
+
+The world also exposes the ground-truth next-item distribution,
+:meth:`SyntheticWorld.next_item_scores`, which the simulated online A/B
+test (:mod:`repro.eval.ctr`) uses as its click model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.schema import (
+    AGE_BUCKETS,
+    GENDERS,
+    ITEM_SI_FEATURES,
+    PURCHASE_POWERS,
+    USER_TAGS,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+from repro.utils import ensure_rng, require, require_in_range, require_positive
+
+
+@dataclass
+class SyntheticWorldConfig:
+    """Parameters of the synthetic marketplace.
+
+    The defaults describe a small world suitable for tests; benchmarks use
+    larger configurations (see ``benchmarks/worlds.py``).
+
+    Attributes
+    ----------
+    n_items, n_users:
+        Catalogue and user-base sizes.
+    n_top_categories, n_leaf_categories:
+        Size of the two-level category tree.  Each leaf belongs to exactly
+        one top-level category.
+    n_brands, n_shops, n_cities, n_styles, n_materials:
+        Global SI vocabularies.  Each leaf draws a small pool from each
+        vocabulary, so SI values correlate with co-click structure.
+    leaf_zipf, item_zipf:
+        Zipf exponents for leaf sizes and within-leaf item popularity
+        (larger -> heavier head).
+    forward_prob:
+        Probability that a session step moves forward along the leaf's
+        progression axis (the asymmetry knob; 0.5 would be symmetric).
+    forward_geom:
+        Success probability of the geometric forward-jump length; larger
+        means shorter hops.
+    cross_leaf_prob:
+        Probability that a step hops to a related leaf instead of staying.
+    succ_leaf_prob:
+        Probability that a step follows the leaf's *directed successor*
+        (the "phone -> phone case" funnel).  Every leaf has exactly one
+        successor leaf; the reverse hop never happens generatively, which
+        is the category-level asymmetry the directional model exploits.
+    mean_session_length, max_session_length:
+        Session lengths are ``2 + Geometric``; truncated at the maximum.
+    demographic_sharpness:
+        Temperature-like factor (>1 sharpens) applied to demographic/leaf
+        affinities.  Higher values make user types more predictive.
+    tag_prob:
+        Per-tag inclusion probability when building a user's tag set.
+    """
+
+    n_items: int = 2000
+    n_users: int = 500
+    n_top_categories: int = 6
+    n_leaf_categories: int = 24
+    n_brands: int = 120
+    n_shops: int = 300
+    n_cities: int = 12
+    n_styles: int = 16
+    n_materials: int = 10
+    brands_per_leaf: int = 8
+    shops_per_leaf: int = 20
+    styles_per_leaf: int = 4
+    materials_per_leaf: int = 3
+    related_leaves: int = 3
+    leaf_zipf: float = 1.1
+    item_zipf: float = 1.05
+    forward_prob: float = 0.8
+    forward_geom: float = 0.6
+    cross_leaf_prob: float = 0.05
+    succ_leaf_prob: float = 0.12
+    mean_session_length: float = 8.0
+    max_session_length: int = 40
+    demographic_sharpness: float = 3.0
+    tag_prob: float = 0.25
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any inconsistent setting."""
+        require_positive(self.n_items, "n_items")
+        require_positive(self.n_users, "n_users")
+        require_positive(self.n_top_categories, "n_top_categories")
+        require_positive(self.n_leaf_categories, "n_leaf_categories")
+        require(
+            self.n_leaf_categories >= self.n_top_categories,
+            "n_leaf_categories must be >= n_top_categories",
+        )
+        require(
+            self.n_items >= self.n_leaf_categories,
+            "n_items must be >= n_leaf_categories (each leaf needs an item)",
+        )
+        for name in ("n_brands", "n_shops", "n_cities", "n_styles", "n_materials"):
+            require_positive(getattr(self, name), name)
+        require_positive(self.brands_per_leaf, "brands_per_leaf")
+        require_positive(self.shops_per_leaf, "shops_per_leaf")
+        require_in_range(self.forward_prob, "forward_prob", 0.0, 1.0)
+        require_in_range(self.forward_geom, "forward_geom", 0.0, 1.0, inclusive=False)
+        require_in_range(self.cross_leaf_prob, "cross_leaf_prob", 0.0, 1.0)
+        require_in_range(self.succ_leaf_prob, "succ_leaf_prob", 0.0, 1.0)
+        require(
+            self.cross_leaf_prob + self.succ_leaf_prob <= 1.0,
+            "cross_leaf_prob + succ_leaf_prob must be <= 1",
+        )
+        require(
+            self.mean_session_length >= 2.0,
+            f"mean_session_length must be >= 2, got {self.mean_session_length}",
+        )
+        require(
+            self.max_session_length >= 3,
+            f"max_session_length must be >= 3, got {self.max_session_length}",
+        )
+        require_positive(self.demographic_sharpness, "demographic_sharpness")
+        require_in_range(self.tag_prob, "tag_prob", 0.0, 1.0)
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Unnormalized Zipf weights ``1/rank^exponent`` for ranks 1..n."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return ranks ** (-exponent)
+
+
+class SyntheticWorld:
+    """A fully-instantiated synthetic marketplace.
+
+    Construction materializes the category tree, the item catalogue with
+    all SI features, and the demographic-affinity tables.  Users and
+    sessions are then sampled on demand, so several datasets (e.g. eight
+    "days" of traffic for the CTR experiment) can be drawn from one world.
+
+    Parameters
+    ----------
+    config:
+        World parameters; validated eagerly.
+    seed:
+        Seed or generator controlling *all* randomness in the world.
+    """
+
+    def __init__(
+        self,
+        config: SyntheticWorldConfig | None = None,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.config = config or SyntheticWorldConfig()
+        self.config.validate()
+        self._rng = ensure_rng(seed)
+        self._build_categories()
+        self._build_items()
+        self._build_demographics()
+
+    # ------------------------------------------------------------------
+    # world construction
+    # ------------------------------------------------------------------
+
+    def _build_categories(self) -> None:
+        cfg, rng = self.config, self._rng
+        # Leaf -> top mapping: contiguous blocks, so related leaves share tops.
+        self.leaf_top = np.sort(
+            rng.integers(0, cfg.n_top_categories, size=cfg.n_leaf_categories)
+        )
+        # Ensure every top category owns at least one leaf.
+        self.leaf_top[: cfg.n_top_categories] = np.arange(cfg.n_top_categories)
+        self.leaf_top = np.sort(self.leaf_top)
+        # Related leaves: prefer leaves under the same top-level category.
+        self.leaf_related: list[np.ndarray] = []
+        for leaf in range(cfg.n_leaf_categories):
+            same_top = np.flatnonzero(self.leaf_top == self.leaf_top[leaf])
+            same_top = same_top[same_top != leaf]
+            if len(same_top) >= cfg.related_leaves:
+                related = rng.choice(same_top, size=cfg.related_leaves, replace=False)
+            else:
+                others = np.setdiff1d(
+                    np.arange(cfg.n_leaf_categories), np.append(same_top, leaf)
+                )
+                extra = rng.choice(
+                    others,
+                    size=min(cfg.related_leaves - len(same_top), len(others)),
+                    replace=False,
+                )
+                related = np.concatenate([same_top, extra])
+            self.leaf_related.append(related.astype(np.int64))
+        # Directed successor leaf (the accessory/upsell funnel): leaves of
+        # the same top-level category form a cycle, so A -> succ(A) hops
+        # happen while succ(A) -> A never does generatively.
+        self.leaf_successor = np.empty(cfg.n_leaf_categories, dtype=np.int64)
+        for top in range(cfg.n_top_categories):
+            members = np.flatnonzero(self.leaf_top == top)
+            if len(members) == 1:
+                self.leaf_successor[members[0]] = members[0]
+            else:
+                for pos, leaf in enumerate(members):
+                    self.leaf_successor[leaf] = members[(pos + 1) % len(members)]
+
+    def _build_items(self) -> None:
+        cfg, rng = self.config, self._rng
+        n_leaves = cfg.n_leaf_categories
+        # Leaf sizes: Zipf over a shuffled leaf order, at least 1 item each.
+        weights = _zipf_weights(n_leaves, cfg.leaf_zipf)
+        rng.shuffle(weights)
+        sizes = np.maximum(
+            1, np.floor(weights / weights.sum() * cfg.n_items).astype(np.int64)
+        )
+        # Distribute the rounding remainder over the largest leaves.
+        deficit = cfg.n_items - int(sizes.sum())
+        order = np.argsort(-sizes)
+        i = 0
+        while deficit != 0:
+            leaf = order[i % n_leaves]
+            if deficit > 0:
+                sizes[leaf] += 1
+                deficit -= 1
+            elif sizes[leaf] > 1:
+                sizes[leaf] -= 1
+                deficit += 1
+            i += 1
+        self.leaf_sizes = sizes
+
+        # Assign item ids leaf by leaf; within a leaf, the position is the
+        # item's "progression rank" along the browse axis.
+        self.item_leaf = np.empty(cfg.n_items, dtype=np.int64)
+        self.item_rank = np.empty(cfg.n_items, dtype=np.int64)
+        self.leaf_items: list[np.ndarray] = []
+        next_id = 0
+        for leaf in range(n_leaves):
+            ids = np.arange(next_id, next_id + sizes[leaf])
+            self.leaf_items.append(ids)
+            self.item_leaf[ids] = leaf
+            self.item_rank[ids] = np.arange(sizes[leaf])
+            next_id += sizes[leaf]
+
+        # Within-leaf popularity: Zipf over a random permutation of ranks,
+        # so popularity is *not* perfectly aligned with progression order.
+        self.item_pop = np.empty(cfg.n_items, dtype=np.float64)
+        self.leaf_pop_p: list[np.ndarray] = []
+        for leaf in range(n_leaves):
+            size = int(sizes[leaf])
+            w = _zipf_weights(size, cfg.item_zipf)
+            rng.shuffle(w)
+            self.item_pop[self.leaf_items[leaf]] = w
+            self.leaf_pop_p.append(w / w.sum())
+
+        # Per-leaf SI pools drawn from global vocabularies.  Within a
+        # leaf, values are assigned by *contiguous rank blocks* along the
+        # progression axis: a brand's items sit next to each other in the
+        # browse funnel (a shop's page, a brand's lineup), exactly the
+        # structure that makes SI informative about co-click neighbourhoods
+        # in real marketplaces.  Each feature gets its own random cyclic
+        # shift, so the block boundaries of different features interleave
+        # and jointly pinpoint a neighbourhood like digits of a code.
+        def pools(vocab: int, per_leaf: int) -> list[np.ndarray]:
+            k = min(per_leaf, vocab)
+            return [
+                rng.choice(vocab, size=k, replace=False) for _ in range(n_leaves)
+            ]
+
+        def block_value(
+            pool: np.ndarray, rank: int, size: int, shift: int
+        ) -> int:
+            position = (rank + shift) % size
+            return int(pool[(position * len(pool)) // size])
+
+        brand_pools = pools(cfg.n_brands, cfg.brands_per_leaf)
+        shop_pools = pools(cfg.n_shops, cfg.shops_per_leaf)
+        style_pools = pools(cfg.n_styles, cfg.styles_per_leaf)
+        material_pools = pools(cfg.n_materials, cfg.materials_per_leaf)
+        shop_city = rng.integers(0, cfg.n_cities, size=cfg.n_shops)
+        feature_shift = {
+            name: rng.integers(0, 1 << 30, size=n_leaves)
+            for name in ("brand", "shop", "style", "material")
+        }
+
+        # Leaf target demographics, used both for the item cross feature and
+        # for user affinities.
+        n_demo = len(GENDERS) * len(AGE_BUCKETS) * len(PURCHASE_POWERS)
+        self.leaf_demo = rng.integers(0, n_demo, size=n_leaves)
+
+        items: list[ItemMeta] = []
+        for item_id in range(cfg.n_items):
+            leaf = int(self.item_leaf[item_id])
+            rank = int(self.item_rank[item_id])
+            size = int(sizes[leaf])
+            shop = block_value(
+                shop_pools[leaf], rank, size, int(feature_shift["shop"][leaf])
+            )
+            si = {
+                "top_level_category": int(self.leaf_top[leaf]),
+                "leaf_category": leaf,
+                "shop": shop,
+                "city": int(shop_city[shop]),
+                "brand": block_value(
+                    brand_pools[leaf], rank, size, int(feature_shift["brand"][leaf])
+                ),
+                "style": block_value(
+                    style_pools[leaf], rank, size, int(feature_shift["style"][leaf])
+                ),
+                "material": block_value(
+                    material_pools[leaf],
+                    rank,
+                    size,
+                    int(feature_shift["material"][leaf]),
+                ),
+                "age_gender_purchase_level": int(self.leaf_demo[leaf]),
+            }
+            items.append(ItemMeta(item_id, si))
+        self.items = items
+
+    def _build_demographics(self) -> None:
+        cfg, rng = self.config, self._rng
+        n_g, n_a, n_p = len(GENDERS), len(AGE_BUCKETS), len(PURCHASE_POWERS)
+        self.n_demographics = n_g * n_a * n_p
+        # Affinity of each demographic cohort for each leaf: a base random
+        # preference, sharpened, plus a strong bonus on the leaf's own
+        # target demographic -> user types are genuinely predictive.
+        base = rng.random((self.n_demographics, cfg.n_leaf_categories))
+        base = base ** cfg.demographic_sharpness
+        for leaf in range(cfg.n_leaf_categories):
+            base[self.leaf_demo[leaf], leaf] += base.max() * 2.0
+        # A little smoothing keeps every leaf reachable by every cohort.
+        base += 1e-3
+        self.demo_leaf_affinity = base / base.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # demographics helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def demographic_index(gender_idx: int, age_idx: int, power_idx: int) -> int:
+        """Flatten a (gender, age, power) triple into a cohort index."""
+        return (
+            gender_idx * len(AGE_BUCKETS) + age_idx
+        ) * len(PURCHASE_POWERS) + power_idx
+
+    @staticmethod
+    def demographic_triple(demo_idx: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`demographic_index`."""
+        power_idx = demo_idx % len(PURCHASE_POWERS)
+        rest = demo_idx // len(PURCHASE_POWERS)
+        age_idx = rest % len(AGE_BUCKETS)
+        gender_idx = rest // len(AGE_BUCKETS)
+        return gender_idx, age_idx, power_idx
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def generate_users(self, n_users: int | None = None) -> list[UserMeta]:
+        """Sample the user base (demographics and tags)."""
+        cfg, rng = self.config, self._rng
+        n = cfg.n_users if n_users is None else n_users
+        require_positive(n, "n_users")
+        users = []
+        for user_id in range(n):
+            tags = tuple(
+                sorted(
+                    int(t)
+                    for t in np.flatnonzero(rng.random(len(USER_TAGS)) < cfg.tag_prob)
+                )
+            )
+            users.append(
+                UserMeta(
+                    user_id=user_id,
+                    gender_idx=int(rng.integers(len(GENDERS))),
+                    age_idx=int(rng.integers(len(AGE_BUCKETS))),
+                    power_idx=int(rng.integers(len(PURCHASE_POWERS))),
+                    tag_indices=tags,
+                )
+            )
+        return users
+
+    def _sample_session_length(self, rng: np.random.Generator) -> int:
+        cfg = self.config
+        extra = rng.geometric(1.0 / max(cfg.mean_session_length - 1.0, 1.0))
+        return int(min(2 + extra, cfg.max_session_length))
+
+    def _sample_start_item(self, leaf: int, rng: np.random.Generator) -> int:
+        """Popularity-weighted entry point, biased toward early ranks."""
+        ids = self.leaf_items[leaf]
+        p = self.leaf_pop_p[leaf]
+        size = len(ids)
+        if size == 1:
+            return int(ids[0])
+        # Bias toward the first half of the progression axis.
+        bias = np.where(np.arange(size) < size / 2.0, 2.0, 1.0)
+        q = p * bias
+        q /= q.sum()
+        return int(rng.choice(ids, p=q))
+
+    def _step(
+        self, item_id: int, rng: np.random.Generator
+    ) -> int:
+        """Sample the next clicked item given the current one."""
+        cfg = self.config
+        leaf = int(self.item_leaf[item_id])
+        hop = rng.random()
+        if hop < cfg.succ_leaf_prob:
+            successor = int(self.leaf_successor[leaf])
+            if successor != leaf:
+                return self._sample_start_item(successor, rng)
+        elif hop < cfg.succ_leaf_prob + cfg.cross_leaf_prob and len(
+            self.leaf_related[leaf]
+        ) > 0:
+            new_leaf = int(rng.choice(self.leaf_related[leaf]))
+            return self._sample_start_item(new_leaf, rng)
+        ids = self.leaf_items[leaf]
+        size = len(ids)
+        if size == 1:
+            return item_id
+        rank = int(self.item_rank[item_id])
+        if rng.random() < cfg.forward_prob and rank < size - 1:
+            jump = int(rng.geometric(cfg.forward_geom))
+            return int(ids[min(rank + jump, size - 1)])
+        # Popularity-weighted jump anywhere in the leaf (excluding self when
+        # possible keeps sessions from stalling on one item).
+        nxt = int(rng.choice(ids, p=self.leaf_pop_p[leaf]))
+        if nxt == item_id:
+            nxt = int(ids[(rank + 1) % size])
+        return nxt
+
+    def generate_session(
+        self, user: UserMeta, rng: np.random.Generator | None = None
+    ) -> Session:
+        """Sample one behavior sequence for ``user``."""
+        rng = self._rng if rng is None else rng
+        demo = self.demographic_index(user.gender_idx, user.age_idx, user.power_idx)
+        leaf = int(
+            rng.choice(self.config.n_leaf_categories, p=self.demo_leaf_affinity[demo])
+        )
+        length = self._sample_session_length(rng)
+        items = [self._sample_start_item(leaf, rng)]
+        while len(items) < length:
+            items.append(self._step(items[-1], rng))
+        return Session(user.user_id, items)
+
+    def generate_sessions(
+        self,
+        users: list[UserMeta],
+        n_sessions: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[Session]:
+        """Sample ``n_sessions`` sessions with users drawn uniformly."""
+        require_positive(n_sessions, "n_sessions")
+        rng = self._rng if rng is None else rng
+        user_ids = rng.integers(0, len(users), size=n_sessions)
+        return [self.generate_session(users[int(u)], rng) for u in user_ids]
+
+    def generate_dataset(
+        self, n_sessions: int, users: list[UserMeta] | None = None
+    ) -> BehaviorDataset:
+        """Sample a complete :class:`BehaviorDataset` from this world."""
+        users = self.generate_users() if users is None else users
+        sessions = self.generate_sessions(users, n_sessions)
+        return BehaviorDataset(self.items, users, sessions, validate=False)
+
+    # ------------------------------------------------------------------
+    # ground truth (for the simulated online experiment)
+    # ------------------------------------------------------------------
+
+    def next_item_scores(
+        self, item_id: int, user: UserMeta, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Unnormalized ground-truth appeal of ``candidates`` after ``item_id``.
+
+        This mirrors :meth:`_step`'s generative process in closed form: a
+        candidate in the same leaf scores by the forward-geometric kernel
+        (plus the popularity-jump component), a candidate in a related leaf
+        scores by the cross-hop mass, everything else scores by a small
+        baseline scaled by the user's leaf affinity.  The simulated A/B
+        test converts these scores into click probabilities.
+        """
+        cfg = self.config
+        candidates = np.asarray(candidates, dtype=np.int64)
+        leaf = int(self.item_leaf[item_id])
+        rank = int(self.item_rank[item_id])
+        demo = self.demographic_index(user.gender_idx, user.age_idx, user.power_idx)
+        affinity = self.demo_leaf_affinity[demo]
+
+        scores = np.empty(len(candidates), dtype=np.float64)
+        related = set(int(x) for x in self.leaf_related[leaf])
+        successor = int(self.leaf_successor[leaf])
+        stay_prob = 1.0 - cfg.cross_leaf_prob - cfg.succ_leaf_prob
+        for idx, cand in enumerate(candidates):
+            cand = int(cand)
+            cleaf = int(self.item_leaf[cand])
+            pop = float(self.leaf_pop_p[cleaf][self.item_rank[cand]])
+            if cleaf == leaf:
+                gap = int(self.item_rank[cand]) - rank
+                forward = 0.0
+                if gap >= 1:
+                    forward = cfg.forward_prob * (
+                        cfg.forward_geom * (1.0 - cfg.forward_geom) ** (gap - 1)
+                    )
+                jump = (1.0 - cfg.forward_prob) * pop
+                scores[idx] = stay_prob * (forward + jump)
+            elif cleaf == successor:
+                scores[idx] = cfg.succ_leaf_prob * pop
+            elif cleaf in related:
+                scores[idx] = cfg.cross_leaf_prob / max(len(related), 1) * pop
+            else:
+                scores[idx] = 1e-4 * float(affinity[cleaf]) * pop
+        return scores
+
+
+def generate_dataset(
+    config: SyntheticWorldConfig | None = None,
+    n_sessions: int = 2000,
+    seed: "int | np.random.Generator | None" = 0,
+) -> BehaviorDataset:
+    """One-call convenience: build a world and sample a dataset from it."""
+    world = SyntheticWorld(config, seed=seed)
+    return world.generate_dataset(n_sessions)

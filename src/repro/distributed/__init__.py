@@ -1,0 +1,33 @@
+"""The simulated distributed word2vec engine (Section III of the paper).
+
+The paper trains SISG on a 32-worker cluster with two key components:
+**TNS** (Target Negative Sampling — output vectors live with the worker
+owning the context token, input-vector gradients travel back) and
+**ATNS** (aggressive subsampling plus replication of the hottest tokens
+with periodic averaging), on top of **HBGP** partitions.
+
+We reproduce the *algorithm* exactly — real parameter partitions, real
+per-worker noise distributions, real replica averaging — inside one
+process, and account for the cluster's *time* with an explicit
+:class:`~repro.distributed.cluster.CostModel`.  Training quality is
+therefore directly comparable with the single-machine trainer (the
+parity ablation checks this), and the scalability figures (Fig. 7) come
+from the cost model's accounting of compute and communication.
+"""
+
+from repro.distributed.cluster import ClusterStats, CostModel, WorkerClock
+from repro.distributed.partition import TokenPartition, build_token_partition
+from repro.distributed.engine import DistributedResult, train_distributed
+from repro.distributed.pipeline import TrainingPipeline, PipelineConfig
+
+__all__ = [
+    "ClusterStats",
+    "CostModel",
+    "WorkerClock",
+    "TokenPartition",
+    "build_token_partition",
+    "DistributedResult",
+    "train_distributed",
+    "TrainingPipeline",
+    "PipelineConfig",
+]

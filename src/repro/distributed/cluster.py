@@ -1,0 +1,153 @@
+"""Cluster cost model and per-worker clocks for the simulated engine.
+
+The distributed engine executes the real TNS/ATNS arithmetic in-process;
+this module accounts for where the *time* would have gone on the paper's
+cluster (Section IV-D: machines with 50 cores at 2.5 GHz on 10 Gbps
+Ethernet).  Three cost components:
+
+- **compute** — processing one (positive + negatives) group costs
+  ``(1 + negatives) * dim * flops_per_dot`` floating-point operations on
+  the worker that runs the TNS function, plus the input-gradient
+  application on the owner of the center token;
+- **transfer** — a remote TNS call moves the center's input vector over
+  and its gradient back: ``2 * dim`` floats at ``seconds_per_float``;
+- **latency** — each batched remote exchange between a pair of workers
+  pays a fixed ``rpc_latency`` (calls are batched, as production engines
+  do, so latency is per exchange rather than per pair);
+- **sync** — averaging the replicated hot set broadcasts
+  ``|Q| * dim`` floats to every worker.
+
+Simulated wall-clock for a training run is the *maximum* over workers of
+their accumulated busy time (compute + their share of communication),
+plus the serialized sync time — workers proceed in parallel, stragglers
+dominate, which is exactly the imbalance phenomenon HBGP addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import require, require_positive
+
+
+@dataclass
+class CostModel:
+    """Time constants of the simulated cluster.
+
+    Defaults are calibrated to the paper's hardware: a worker sustains a
+    few GFLOP/s of useful SGNS arithmetic per core pool, and a 10 Gbps
+    NIC moves ~3e8 floats/s.  Absolute values only set the scale of the
+    reported times; the *shapes* in Fig. 7 come from the ratios.
+    """
+
+    flops_per_second: float = 2.0e9
+    floats_per_second: float = 3.0e8
+    rpc_latency: float = 2.0e-5
+    sync_latency: float = 1.0e-3
+
+    def validate(self) -> None:
+        require_positive(self.flops_per_second, "flops_per_second")
+        require_positive(self.floats_per_second, "floats_per_second")
+        require_positive(self.rpc_latency, "rpc_latency", strict=False)
+        require_positive(self.sync_latency, "sync_latency", strict=False)
+
+    def compute_seconds(self, n_pairs: int, negatives: int, dim: int) -> float:
+        """Compute time for ``n_pairs`` TNS evaluations.
+
+        Each pair evaluates one positive and ``negatives`` negative dot
+        products plus the matching updates: about ``4 * (1 + negatives) *
+        dim`` multiply-adds.
+        """
+        flops = 4.0 * n_pairs * (1 + negatives) * dim
+        return flops / self.flops_per_second
+
+    def apply_seconds(self, n_pairs: int, dim: int) -> float:
+        """Input-gradient application time on the center's owner."""
+        return (2.0 * n_pairs * dim) / self.flops_per_second
+
+    def transfer_seconds(self, n_floats: int) -> float:
+        """Wire time for ``n_floats`` floats."""
+        return n_floats / self.floats_per_second
+
+    def sync_seconds(self, n_replicated: int, dim: int, n_workers: int) -> float:
+        """One replica-averaging round (gather + broadcast)."""
+        floats = 2.0 * n_replicated * dim * max(n_workers - 1, 0)
+        return self.sync_latency + self.transfer_seconds(int(floats))
+
+
+class WorkerClock:
+    """Accumulates one worker's busy time, split by cause."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.compute = 0.0
+        self.communication = 0.0
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.communication
+
+    def add_compute(self, seconds: float) -> None:
+        self.compute += seconds
+
+    def add_communication(self, seconds: float) -> None:
+        self.communication += seconds
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated accounting of one distributed training run."""
+
+    n_workers: int
+    pairs_processed: int = 0
+    pairs_remote: int = 0
+    floats_transferred: int = 0
+    rpc_exchanges: int = 0
+    sync_rounds: int = 0
+    sync_seconds: float = 0.0
+    worker_compute: list[float] = field(default_factory=list)
+    worker_communication: list[float] = field(default_factory=list)
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of pairs whose center and context live on different
+        workers — the communication-pressure metric HBGP minimizes."""
+        if self.pairs_processed == 0:
+            return 0.0
+        return self.pairs_remote / self.pairs_processed
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Wall clock: the slowest worker plus serialized sync time."""
+        if not self.worker_compute:
+            return self.sync_seconds
+        busy = np.asarray(self.worker_compute) + np.asarray(
+            self.worker_communication
+        )
+        return float(busy.max()) + self.sync_seconds
+
+    @property
+    def compute_imbalance(self) -> float:
+        """Max worker compute over mean worker compute (>= 1)."""
+        if not self.worker_compute:
+            return 1.0
+        compute = np.asarray(self.worker_compute)
+        mean = compute.mean()
+        if mean == 0:
+            return 1.0
+        return float(compute.max() / mean)
+
+    @classmethod
+    def from_clocks(
+        cls, clocks: list[WorkerClock], **kwargs
+    ) -> "ClusterStats":
+        """Build stats from per-worker clocks plus accounting kwargs."""
+        require(len(clocks) > 0, "clocks must be non-empty")
+        return cls(
+            n_workers=len(clocks),
+            worker_compute=[c.compute for c in clocks],
+            worker_communication=[c.communication for c in clocks],
+            **kwargs,
+        )

@@ -1,0 +1,15 @@
+"""Evaluation harnesses: offline HR@K, the simulated online A/B test, t-SNE."""
+
+from repro.eval.hitrate import HitRateResult, evaluate_hitrate, hitrate_table
+from repro.eval.ctr import CTRConfig, CTRSimulator, CTRResult
+from repro.eval.tsne import tsne
+
+__all__ = [
+    "HitRateResult",
+    "evaluate_hitrate",
+    "hitrate_table",
+    "CTRConfig",
+    "CTRSimulator",
+    "CTRResult",
+    "tsne",
+]

@@ -1,0 +1,143 @@
+"""Next-item HitRate evaluation (Section IV-A, Eq. 5 of the paper).
+
+The protocol: for every held-out behavior sequence
+``S = (v_1, ..., v_p)``, the model (trained on the prefix up to
+``v_{p-1}``) retrieves the ``K`` most similar items to ``v_{p-1}``;
+the trial is a hit iff ``v_p`` is among them.
+
+``HR@K = (1/|S|) * sum_S 1[v_p in S_K(v_{p-1})]``
+
+Any recommender exposing ``topk_batch(item_ids, k) -> (n, k) array`` and
+``__contains__(item_id)`` can be evaluated — both
+:class:`repro.core.similarity.SimilarityIndex` and the CF baseline
+conform.  Queries whose item is unknown to the recommender count as
+misses at every ``K`` (the paper's denominator is all test sequences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.data.schema import Session
+from repro.utils import require, require_positive
+
+DEFAULT_KS: tuple[int, ...] = (1, 10, 20, 100, 200)
+
+
+class Recommender(Protocol):
+    """Structural interface the evaluator needs."""
+
+    def topk_batch(self, item_ids: np.ndarray, k: int) -> np.ndarray:
+        """Return a ``(len(item_ids), k)`` array of item ids (pad ``-1``)."""
+
+    def __contains__(self, item_id: int) -> bool:
+        """Whether the recommender can answer queries for ``item_id``."""
+
+
+@dataclass(frozen=True)
+class HitRateResult:
+    """HR@K for one model over one test set."""
+
+    name: str
+    hit_rates: dict[int, float]
+    n_queries: int
+    n_answerable: int
+
+    def gain_over(self, baseline: "HitRateResult") -> dict[int, float]:
+        """Relative gain vs ``baseline`` per K (the Table-III "increase")."""
+        gains = {}
+        for k, hr in self.hit_rates.items():
+            base = baseline.hit_rates.get(k)
+            if base is None or base == 0.0:
+                gains[k] = float("nan")
+            else:
+                gains[k] = (hr - base) / base
+        return gains
+
+
+def evaluate_hitrate(
+    recommender: Recommender,
+    test_sessions: Sequence[Session],
+    ks: Sequence[int] = DEFAULT_KS,
+    name: str = "model",
+    batch_size: int = 256,
+) -> HitRateResult:
+    """Compute HR@K for ``recommender`` over ``test_sessions``.
+
+    Each test session must have length >= 2: the second-to-last item is
+    the query and the last item the label.  Retrieval runs batched at
+    ``max(ks)`` and every smaller K is read off the same ranking.
+    """
+    require(len(ks) > 0, "ks must be non-empty")
+    for k in ks:
+        require_positive(k, "ks entries")
+    require_positive(batch_size, "batch_size")
+
+    queries: list[int] = []
+    labels: list[int] = []
+    skipped = 0
+    for session in test_sessions:
+        if len(session) < 2:
+            raise ValueError("test sessions must have length >= 2")
+        query, label = session.items[-2], session.items[-1]
+        if query in recommender:
+            queries.append(query)
+            labels.append(label)
+        else:
+            skipped += 1
+
+    n_queries = len(queries) + skipped
+    max_k = max(ks)
+    hits = {k: 0 for k in ks}
+    for start in range(0, len(queries), batch_size):
+        batch_q = np.asarray(queries[start : start + batch_size], dtype=np.int64)
+        batch_l = np.asarray(labels[start : start + batch_size], dtype=np.int64)
+        ranked = recommender.topk_batch(batch_q, max_k)
+        match = ranked == batch_l[:, None]
+        # Position of the label in the ranking, or max_k when absent.
+        position = np.where(
+            match.any(axis=1), match.argmax(axis=1), max_k
+        )
+        for k in ks:
+            hits[k] += int((position < k).sum())
+
+    denom = max(n_queries, 1)
+    return HitRateResult(
+        name=name,
+        hit_rates={k: hits[k] / denom for k in ks},
+        n_queries=n_queries,
+        n_answerable=len(queries),
+    )
+
+
+def hitrate_table(
+    results: Sequence[HitRateResult], baseline_name: str = "SGNS"
+) -> str:
+    """Render results as a Table-III-style text table with relative gains."""
+    require(len(results) > 0, "results must be non-empty")
+    baseline = next((r for r in results if r.name == baseline_name), results[0])
+    ks = sorted(results[0].hit_rates)
+    header = ["Variant"]
+    for k in ks:
+        header.extend([f"HR@{k}", "increase"])
+    rows = [header]
+    for result in results:
+        gains = result.gain_over(baseline)
+        row = [result.name]
+        for k in ks:
+            row.append(f"{result.hit_rates[k]:.4f}")
+            if result is baseline:
+                row.append("-")
+            else:
+                gain = gains[k]
+                row.append("nan" if np.isnan(gain) else f"{gain * 100:+.2f}%")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join(lines)

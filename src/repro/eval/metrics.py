@@ -1,0 +1,134 @@
+"""Additional retrieval metrics beyond HitRate.
+
+The paper reports HR@K only; production evaluations of matching systems
+typically also track rank-sensitive and catalogue-health metrics.  This
+module adds them over the same batched-recommender protocol used by
+:mod:`repro.eval.hitrate`:
+
+- **MRR@K** — mean reciprocal rank of the true next item;
+- **NDCG@K** — positional discount (binary relevance, so DCG = 1/log2);
+- **catalogue coverage@K** — fraction of the catalogue that appears in
+  at least one slate (does the matcher only ever serve the head?);
+- **popularity bias@K** — mean training popularity of recommended items
+  over mean catalogue popularity (1 = unbiased, >1 = head-heavy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import BehaviorDataset, Session
+from repro.eval.hitrate import Recommender
+from repro.utils import require, require_positive
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Rank-sensitive and catalogue-health metrics for one model."""
+
+    name: str
+    k: int
+    mrr: float
+    ndcg: float
+    coverage: float
+    popularity_bias: float
+
+
+def _queries_and_labels(
+    recommender: Recommender, test_sessions: Sequence[Session]
+) -> tuple[list[int], list[int], int]:
+    queries: list[int] = []
+    labels: list[int] = []
+    skipped = 0
+    for session in test_sessions:
+        if len(session) < 2:
+            raise ValueError("test sessions must have length >= 2")
+        query, label = session.items[-2], session.items[-1]
+        if query in recommender:
+            queries.append(query)
+            labels.append(label)
+        else:
+            skipped += 1
+    return queries, labels, skipped
+
+
+def evaluate_ranking_metrics(
+    recommender: Recommender,
+    test_sessions: Sequence[Session],
+    dataset: BehaviorDataset,
+    k: int = 20,
+    name: str = "model",
+    batch_size: int = 256,
+) -> RankingMetrics:
+    """Compute MRR/NDCG/coverage/popularity-bias at ``k``.
+
+    ``dataset`` supplies the catalogue size and training popularity for
+    the coverage and bias metrics.  Unanswerable queries contribute zero
+    reciprocal rank, matching the HR evaluator's denominator convention.
+    """
+    require_positive(k, "k")
+    require_positive(batch_size, "batch_size")
+    queries, labels, skipped = _queries_and_labels(recommender, test_sessions)
+    n_queries = len(queries) + skipped
+    require(n_queries > 0, "no test sessions supplied")
+
+    popularity = np.zeros(dataset.n_items)
+    for session in dataset.sessions:
+        np.add.at(popularity, session.items, 1.0)
+    catalogue_mean_pop = float(popularity.mean())
+
+    rr_sum = 0.0
+    dcg_sum = 0.0
+    recommended: set[int] = set()
+    rec_pop_sum = 0.0
+    rec_count = 0
+    for start in range(0, len(queries), batch_size):
+        batch_q = np.asarray(queries[start : start + batch_size], dtype=np.int64)
+        batch_l = np.asarray(labels[start : start + batch_size], dtype=np.int64)
+        ranked = recommender.topk_batch(batch_q, k)
+        match = ranked == batch_l[:, None]
+        found = match.any(axis=1)
+        position = match.argmax(axis=1)
+        rr_sum += float((1.0 / (position[found] + 1)).sum())
+        dcg_sum += float((1.0 / np.log2(position[found] + 2)).sum())
+        valid = ranked[ranked >= 0]
+        recommended.update(int(i) for i in np.unique(valid))
+        rec_pop_sum += float(popularity[valid].sum())
+        rec_count += len(valid)
+
+    bias = 1.0
+    if rec_count > 0 and catalogue_mean_pop > 0:
+        bias = (rec_pop_sum / rec_count) / catalogue_mean_pop
+    return RankingMetrics(
+        name=name,
+        k=k,
+        mrr=rr_sum / n_queries,
+        ndcg=dcg_sum / n_queries,  # ideal DCG = 1 for a single relevant item
+        coverage=len(recommended) / max(dataset.n_items, 1),
+        popularity_bias=bias,
+    )
+
+
+def metrics_table(results: Sequence[RankingMetrics]) -> str:
+    """Render metrics rows as aligned text."""
+    require(len(results) > 0, "results must be non-empty")
+    header = ["Model", "K", "MRR", "NDCG", "Coverage", "PopBias"]
+    rows = [header]
+    for r in results:
+        rows.append(
+            [
+                r.name,
+                str(r.k),
+                f"{r.mrr:.4f}",
+                f"{r.ndcg:.4f}",
+                f"{r.coverage:.3f}",
+                f"{r.popularity_bias:.2f}",
+            ]
+        )
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    )

@@ -1,0 +1,160 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) in NumPy.
+
+Used to reproduce Fig. 5 of the paper (the t-SNE plot of user-type
+embeddings clustering by gender and age).  This is the exact O(n^2)
+algorithm — adequate for the tens of thousands of user types the paper
+plots and the hundreds our scaled-down worlds produce.
+
+The implementation follows the reference recipe: per-point bandwidths
+found by bisection to match the target perplexity, symmetrized joint
+probabilities with early exaggeration, and momentum gradient descent on
+the Student-t low-dimensional affinities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import ensure_rng, get_logger, require, require_positive
+
+logger = get_logger("eval.tsne")
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix."""
+    sq = np.sum(x * x, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def _row_affinities(
+    d2_row: np.ndarray, target_entropy: float, tol: float = 1e-5, max_iter: int = 50
+) -> np.ndarray:
+    """Bisection for one row's bandwidth so its entropy hits the target."""
+    beta_lo, beta_hi = 0.0, np.inf
+    beta = 1.0
+    p = np.zeros_like(d2_row)
+    for _ in range(max_iter):
+        p = np.exp(-d2_row * beta)
+        total = p.sum()
+        if total <= 0:
+            entropy = 0.0
+            p[:] = 0.0
+        else:
+            p /= total
+            nz = p > 0
+            entropy = float(-(p[nz] * np.log(p[nz])).sum())
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:  # entropy too high -> sharpen
+            beta_lo = beta
+            beta = beta * 2.0 if np.isinf(beta_hi) else (beta + beta_hi) / 2.0
+        else:
+            beta_hi = beta
+            beta = beta / 2.0 if beta_lo == 0.0 else (beta + beta_lo) / 2.0
+    return p
+
+
+def _joint_probabilities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    d2 = _pairwise_sq_dists(x)
+    n = len(x)
+    target_entropy = float(np.log(perplexity))
+    p_cond = np.zeros((n, n))
+    for i in range(n):
+        row = d2[i].copy()
+        row[i] = np.inf  # exclude self
+        p_cond[i] = _row_affinities(row, target_entropy)
+        p_cond[i, i] = 0.0
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 500,
+    learning_rate: float = 200.0,
+    early_exaggeration: float = 12.0,
+    exaggeration_iters: int = 100,
+    seed: "int | np.random.Generator | None" = 0,
+) -> np.ndarray:
+    """Embed ``x`` (``(n, d)``) into ``n_components`` dimensions.
+
+    Parameters mirror the common implementations; the perplexity must be
+    smaller than the number of points.  Returns the ``(n, n_components)``
+    embedding.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    require(x.ndim == 2, "x must be a 2-d array")
+    n = len(x)
+    require(n >= 4, f"t-SNE needs at least 4 points, got {n}")
+    require_positive(perplexity, "perplexity")
+    require(
+        perplexity < n,
+        f"perplexity ({perplexity}) must be < number of points ({n})",
+    )
+    require_positive(n_iter, "n_iter")
+    require_positive(learning_rate, "learning_rate")
+
+    rng = ensure_rng(seed)
+    p = _joint_probabilities(x, perplexity)
+
+    y = rng.normal(scale=1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    for iteration in range(n_iter):
+        exaggeration = early_exaggeration if iteration < exaggeration_iters else 1.0
+        momentum = 0.5 if iteration < 250 else 0.8
+
+        d2 = _pairwise_sq_dists(y)
+        num = 1.0 / (1.0 + d2)
+        np.fill_diagonal(num, 0.0)
+        q = np.maximum(num / num.sum(), 1e-12)
+
+        pq = (exaggeration * p - q) * num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.maximum(gains, 0.01, out=gains)
+
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+
+        if (iteration + 1) % 100 == 0:
+            kl = float((p * np.log(p / q)).sum())
+            logger.debug("t-SNE iter %d: KL = %.4f", iteration + 1, kl)
+    return y
+
+
+def cluster_separation(
+    embedding: np.ndarray, labels: np.ndarray
+) -> float:
+    """Ratio of mean between-class to mean within-class distance.
+
+    A scalar stand-in for "the clusters are visibly separated" in Fig. 5:
+    values well above 1 mean points with equal labels sit closer together
+    than points with different labels.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    labels = np.asarray(labels)
+    require(len(embedding) == len(labels), "embedding and labels must align")
+    d2 = _pairwise_sq_dists(embedding)
+    dist = np.sqrt(d2)
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    diff = ~same
+    np.fill_diagonal(diff, False)
+    if not same.any() or not diff.any():
+        raise ValueError("need at least two classes with two members each")
+    within = float(dist[same].mean())
+    between = float(dist[diff].mean())
+    if within == 0.0:
+        return float("inf")
+    return between / within

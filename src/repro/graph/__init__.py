@@ -1,0 +1,15 @@
+"""Graph substrates: the item transition graph, random walks, and HBGP."""
+
+from repro.graph.item_graph import ItemGraph, build_item_graph
+from repro.graph.random_walk import RandomWalker
+from repro.graph.hbgp import HBGPConfig, PartitionResult, hbgp_partition, random_partition
+
+__all__ = [
+    "ItemGraph",
+    "build_item_graph",
+    "RandomWalker",
+    "HBGPConfig",
+    "PartitionResult",
+    "hbgp_partition",
+    "random_partition",
+]

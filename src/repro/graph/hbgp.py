@@ -1,0 +1,340 @@
+"""Heuristic Balanced Graph Partitioning (Section III-B of the paper).
+
+HBGP assigns items to ``w`` workers so that
+
+1. the total item frequency per worker is roughly equal (balanced
+   compute), and
+2. sampled skip-gram pairs rarely straddle two workers (low
+   communication).
+
+The heuristic exploits that Taobao sessions mostly stay within one leaf
+category: items are grouped *by leaf category*, the item graph is reduced
+to a leaf-category graph, and categories are greedily merged along the
+heaviest transition edges under a balance bound ``|C1| + |C2| <=
+beta * |V| / w`` (``|C|`` = total frequency of category ``C``'s items,
+``|V|`` = total frequency over all items, ``beta >= 1`` the allowed
+imbalance).  When no edge satisfies the bound, ``beta`` is relaxed; the
+procedure stops when exactly ``w`` groups remain.
+
+:func:`random_partition` provides the strawman used by the ablation
+benchmark (``bench_ablation_hbgp``): same balance goal, no locality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import BehaviorDataset
+from repro.graph.item_graph import ItemGraph, build_item_graph
+from repro.utils import ensure_rng, get_logger, require, require_positive
+
+logger = get_logger("graph.hbgp")
+
+
+@dataclass
+class HBGPConfig:
+    """HBGP parameters (the paper sets ``beta = 1.2`` in production)."""
+
+    n_partitions: int = 4
+    beta: float = 1.2
+    beta_growth: float = 1.2
+
+    def validate(self) -> None:
+        require_positive(self.n_partitions, "n_partitions")
+        require(self.beta >= 1.0, f"beta must be >= 1.0, got {self.beta}")
+        require(
+            self.beta_growth > 1.0,
+            f"beta_growth must be > 1.0, got {self.beta_growth}",
+        )
+
+
+@dataclass
+class PartitionResult:
+    """Output of a partitioning strategy.
+
+    Attributes
+    ----------
+    item_partition:
+        Partition id per item (``-1`` for items absent from training).
+    leaf_partition:
+        Partition id per leaf category.
+    partition_frequency:
+        Total item frequency per partition.
+    cut_weight:
+        Summed transition frequency of edges crossing partitions.
+    total_weight:
+        Summed transition frequency of all edges.
+    """
+
+    item_partition: np.ndarray
+    leaf_partition: np.ndarray
+    partition_frequency: np.ndarray
+    cut_weight: float
+    total_weight: float
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partition_frequency)
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of transitions that cross partitions (lower = better)."""
+        if self.total_weight == 0:
+            return 0.0
+        return self.cut_weight / self.total_weight
+
+    @property
+    def imbalance(self) -> float:
+        """Max partition frequency over the ideal equal share (>= 1)."""
+        total = float(self.partition_frequency.sum())
+        if total == 0:
+            return 1.0
+        ideal = total / self.n_partitions
+        return float(self.partition_frequency.max()) / ideal
+
+
+def _leaf_graph(
+    graph: ItemGraph, item_leaf: np.ndarray, n_leaves: int
+) -> tuple[dict[tuple[int, int], float], np.ndarray]:
+    """Reduce the item graph to (undirected leaf edge weights, leaf freq)."""
+    leaf_freq = np.zeros(n_leaves, dtype=np.float64)
+    np.add.at(leaf_freq, item_leaf, graph.node_frequency)
+    edges: dict[tuple[int, int], float] = {}
+    coo = graph.adjacency.tocoo()
+    for i, j, w in zip(coo.row, coo.col, coo.data):
+        li, lj = int(item_leaf[i]), int(item_leaf[j])
+        if li == lj:
+            continue
+        key = (min(li, lj), max(li, lj))
+        edges[key] = edges.get(key, 0.0) + float(w)
+    return edges, leaf_freq
+
+
+def hbgp_partition(
+    dataset: BehaviorDataset,
+    config: HBGPConfig | None = None,
+    graph: ItemGraph | None = None,
+) -> PartitionResult:
+    """Run HBGP over ``dataset`` (or over a pre-built ``graph``).
+
+    Leaf categories are merged greedily along the heaviest inter-group
+    transition edges (both directions summed, as in step 3a of the
+    paper's algorithm) while the balance bound holds; ``beta`` is relaxed
+    by ``beta_growth`` whenever no edge qualifies.  Groups that end up
+    disconnected are merged smallest-first (no communication cost either
+    way) until exactly ``n_partitions`` remain.
+    """
+    config = config or HBGPConfig()
+    config.validate()
+    graph = build_item_graph(dataset) if graph is None else graph
+    item_leaf = np.asarray([item.leaf_category for item in dataset.items])
+    n_leaves = int(item_leaf.max()) + 1 if len(item_leaf) else 0
+    require(n_leaves > 0, "dataset has no items")
+    w = config.n_partitions
+    require(
+        w <= n_leaves,
+        f"n_partitions ({w}) cannot exceed the number of leaf categories"
+        f" ({n_leaves})",
+    )
+
+    edges, leaf_freq = _leaf_graph(graph, item_leaf, n_leaves)
+    total_freq = float(leaf_freq.sum())
+
+    # Union-find over leaf groups.
+    parent = list(range(n_leaves))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    group_freq = leaf_freq.copy()
+    group_edges = dict(edges)
+    n_groups = n_leaves
+    beta = config.beta
+
+    # Max-heap of merge candidates (lazy deletion on staleness).
+    heap = [(-weight, a, b) for (a, b), weight in group_edges.items()]
+    heapq.heapify(heap)
+
+    while n_groups > w:
+        merged_this_round = False
+        stale: list[tuple[float, int, int]] = []
+        while heap:
+            neg_weight, a, b = heapq.heappop(heap)
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                continue
+            key = (min(ra, rb), max(ra, rb))
+            current = group_edges.get(key)
+            if current is None or -neg_weight != current:
+                continue  # stale entry
+            if group_freq[ra] + group_freq[rb] > beta * total_freq / w:
+                stale.append((neg_weight, a, b))
+                continue
+            # Merge rb into ra.
+            parent[rb] = ra
+            group_freq[ra] += group_freq[rb]
+            # Rewire rb's edges onto ra.
+            for (x, y), weight in list(group_edges.items()):
+                rx, ry = find(x), find(y)
+                if (x, y) == key:
+                    del group_edges[(x, y)]
+                    continue
+                if rx == ry:
+                    del group_edges[(x, y)]
+                    continue
+                new_key = (min(rx, ry), max(rx, ry))
+                if new_key != (x, y):
+                    weight_total = group_edges.pop((x, y)) + group_edges.get(
+                        new_key, 0.0
+                    )
+                    group_edges[new_key] = weight_total
+                    heapq.heappush(heap, (-weight_total, new_key[0], new_key[1]))
+            n_groups -= 1
+            merged_this_round = True
+            break
+        # Candidates skipped only due to the balance bound stay available
+        # for a later round with a larger beta.
+        for entry in stale:
+            heapq.heappush(heap, entry)
+        if merged_this_round:
+            continue
+        if group_edges:
+            beta *= config.beta_growth
+            logger.debug("no feasible edge; relaxing beta to %.3f", beta)
+            continue
+        # Disconnected groups left: merge the two lightest.
+        roots = sorted({find(x) for x in range(n_leaves)})
+        roots.sort(key=lambda r: group_freq[r])
+        a, b = roots[0], roots[1]
+        parent[b] = a
+        group_freq[a] += group_freq[b]
+        n_groups -= 1
+
+    # Compact group ids to 0..w-1.
+    roots = sorted({find(x) for x in range(n_leaves)})
+    root_to_pid = {root: pid for pid, root in enumerate(roots)}
+    leaf_partition = np.asarray(
+        [root_to_pid[find(leaf)] for leaf in range(n_leaves)], dtype=np.int64
+    )
+    return _finalize(graph, item_leaf, leaf_partition, w)
+
+
+def random_partition(
+    dataset: BehaviorDataset,
+    n_partitions: int,
+    seed: "int | np.random.Generator | None" = 0,
+    graph: ItemGraph | None = None,
+    by_leaf: bool = False,
+) -> PartitionResult:
+    """Frequency-balanced random partitioning (the HBGP ablation strawman).
+
+    With ``by_leaf=False`` (default) *items* are assigned individually —
+    the behaviour of plain TNS without any locality strategy — so the
+    cross-partition transition fraction approaches ``1 - 1/w``.  With
+    ``by_leaf=True`` whole leaf categories are assigned (locality-aware
+    but relationship-blind), an intermediate comparator.  Assignment is
+    greedy by descending frequency onto the lightest partition, with a
+    random perturbation to break ties, so balance matches HBGP's.
+    """
+    require_positive(n_partitions, "n_partitions")
+    graph = build_item_graph(dataset) if graph is None else graph
+    item_leaf = np.asarray([item.leaf_category for item in dataset.items])
+    n_leaves = int(item_leaf.max()) + 1 if len(item_leaf) else 0
+    rng = ensure_rng(seed)
+
+    if by_leaf:
+        require(
+            n_partitions <= n_leaves,
+            f"n_partitions ({n_partitions}) cannot exceed leaves ({n_leaves})",
+        )
+        leaf_freq = np.zeros(n_leaves, dtype=np.float64)
+        np.add.at(leaf_freq, item_leaf, graph.node_frequency)
+        order = np.argsort(-(leaf_freq + rng.random(n_leaves) * 1e-9))
+        load = np.zeros(n_partitions)
+        leaf_partition = np.zeros(n_leaves, dtype=np.int64)
+        for leaf in order:
+            target = int(np.argmin(load))
+            leaf_partition[leaf] = target
+            load[target] += leaf_freq[leaf]
+        return _finalize(graph, item_leaf, leaf_partition, n_partitions)
+
+    n_items = len(item_leaf)
+    require(
+        n_partitions <= n_items,
+        f"n_partitions ({n_partitions}) cannot exceed items ({n_items})",
+    )
+    freq = graph.node_frequency
+    order = np.argsort(-(freq + rng.random(n_items) * 1e-9))
+    load = np.zeros(n_partitions)
+    item_partition = np.zeros(n_items, dtype=np.int64)
+    for item in order:
+        target = int(np.argmin(load))
+        item_partition[item] = target
+        load[target] += freq[item]
+    # Leaf assignment is ill-defined for item-level randomness; report the
+    # majority partition per leaf for inspection purposes.
+    leaf_partition = np.zeros(n_leaves, dtype=np.int64)
+    for leaf in range(n_leaves):
+        members = item_partition[item_leaf == leaf]
+        if len(members):
+            leaf_partition[leaf] = np.bincount(
+                members, minlength=n_partitions
+            ).argmax()
+    partition_frequency = np.zeros(n_partitions)
+    np.add.at(partition_frequency, item_partition, freq)
+    coo = graph.adjacency.tocoo()
+    cut_weight = float(
+        coo.data[item_partition[coo.row] != item_partition[coo.col]].sum()
+    )
+    result = PartitionResult(
+        item_partition=item_partition,
+        leaf_partition=leaf_partition,
+        partition_frequency=partition_frequency,
+        cut_weight=cut_weight,
+        total_weight=float(coo.data.sum()),
+    )
+    logger.info(
+        "random item partition: %d parts, cut fraction %.3f, imbalance %.3f",
+        n_partitions,
+        result.cut_fraction,
+        result.imbalance,
+    )
+    return result
+
+
+def _finalize(
+    graph: ItemGraph,
+    item_leaf: np.ndarray,
+    leaf_partition: np.ndarray,
+    n_partitions: int,
+) -> PartitionResult:
+    """Derive item assignments and cut statistics from leaf assignments."""
+    item_partition = leaf_partition[item_leaf].astype(np.int64)
+    partition_frequency = np.zeros(n_partitions)
+    np.add.at(partition_frequency, item_partition, graph.node_frequency)
+
+    coo = graph.adjacency.tocoo()
+    src_pid = item_partition[coo.row]
+    dst_pid = item_partition[coo.col]
+    cut_weight = float(coo.data[src_pid != dst_pid].sum())
+    total_weight = float(coo.data.sum())
+    result = PartitionResult(
+        item_partition=item_partition,
+        leaf_partition=leaf_partition,
+        partition_frequency=partition_frequency,
+        cut_weight=cut_weight,
+        total_weight=total_weight,
+    )
+    logger.info(
+        "partition: %d parts, cut fraction %.3f, imbalance %.3f",
+        n_partitions,
+        result.cut_fraction,
+        result.imbalance,
+    )
+    return result

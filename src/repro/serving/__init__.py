@@ -1,0 +1,16 @@
+"""Serving-side artifacts: the precomputed item-to-item candidate table.
+
+The matching stage's production deliverable is not the embedding model —
+it is the nightly *I2I candidate table* derived from it: for every item,
+a ranked, filtered list of candidate items that the online system looks
+up in O(1) when a user clicks.  This package builds, filters, persists
+and serves that table.
+"""
+
+from repro.serving.candidates import (
+    CandidateTable,
+    CandidateTableConfig,
+    build_candidate_table,
+)
+
+__all__ = ["CandidateTable", "CandidateTableConfig", "build_candidate_table"]

@@ -1,0 +1,172 @@
+"""The nightly item-to-item candidate table.
+
+Builds, for every item the matcher can answer, its ranked top-``k``
+candidate list with the production hygiene filters a homepage feed
+needs:
+
+- **self exclusion** (never recommend the clicked item back);
+- **shop diversity** — at most ``max_per_shop`` candidates from one shop
+  (a feed full of one seller's listings looks broken);
+- **brand diversity** — likewise per brand;
+- **score floor** — drop candidates below ``min_score`` (a near-zero
+  similarity is noise, not a recommendation).
+
+The table persists as a compact ``.npz`` and serves lookups in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.similarity import SimilarityIndex
+from repro.data.schema import BehaviorDataset
+from repro.utils import get_logger, require, require_positive
+
+logger = get_logger("serving.candidates")
+
+
+@dataclass
+class CandidateTableConfig:
+    """Build-time knobs of the candidate table."""
+
+    k: int = 50
+    fetch_factor: int = 4
+    max_per_shop: int | None = 10
+    max_per_brand: int | None = 10
+    min_score: float | None = None
+
+    def validate(self) -> None:
+        require_positive(self.k, "k")
+        require_positive(self.fetch_factor, "fetch_factor")
+        if self.max_per_shop is not None:
+            require_positive(self.max_per_shop, "max_per_shop")
+        if self.max_per_brand is not None:
+            require_positive(self.max_per_brand, "max_per_brand")
+
+
+class CandidateTable:
+    """Immutable ranked candidate lists, one per item.
+
+    Construct via :func:`build_candidate_table` or :meth:`load`.
+    """
+
+    def __init__(
+        self,
+        items: np.ndarray,
+        candidates: np.ndarray,
+        scores: np.ndarray,
+    ) -> None:
+        require(candidates.shape == scores.shape, "candidates/scores mismatch")
+        require(len(items) == len(candidates), "items/candidates mismatch")
+        self._items = items
+        self._candidates = candidates
+        self._scores = scores
+        self._row = {int(i): r for r, i in enumerate(items)}
+
+    @property
+    def k(self) -> int:
+        return self._candidates.shape[1]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: int) -> bool:
+        return int(item_id) in self._row
+
+    def lookup(self, item_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(candidate_ids, scores)`` for one item (padded with -1)."""
+        row = self._row.get(int(item_id))
+        if row is None:
+            raise KeyError(f"item {item_id} not in the candidate table")
+        return self._candidates[row], self._scores[row]
+
+    def topk(self, item_id: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluator-compatible lookup truncated to ``k`` valid entries."""
+        candidates, scores = self.lookup(item_id)
+        valid = candidates >= 0
+        return candidates[valid][:k], scores[valid][:k]
+
+    def topk_batch(self, item_ids: np.ndarray, k: int) -> np.ndarray:
+        """Batched lookups for the HR evaluator (pads with ``-1``)."""
+        require_positive(k, "k")
+        out = np.full((len(item_ids), k), -1, dtype=np.int64)
+        kk = min(k, self.k)
+        for row, item_id in enumerate(np.asarray(item_ids, dtype=np.int64)):
+            table_row = self._row.get(int(item_id))
+            if table_row is not None:
+                out[row, :kk] = self._candidates[table_row, :kk]
+        return out
+
+    def save(self, path: "str | Path") -> None:
+        """Persist as a compressed ``.npz``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            items=self._items,
+            candidates=self._candidates,
+            scores=self._scores,
+        )
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CandidateTable":
+        """Inverse of :meth:`save`."""
+        data = np.load(Path(path))
+        return cls(data["items"], data["candidates"], data["scores"])
+
+
+def build_candidate_table(
+    index: SimilarityIndex,
+    dataset: BehaviorDataset,
+    config: CandidateTableConfig | None = None,
+) -> CandidateTable:
+    """Materialize the candidate table from a retrieval index.
+
+    Fetches ``k * fetch_factor`` raw neighbours per item, applies the
+    diversity/score filters, and keeps the top ``k`` survivors.
+    """
+    config = config or CandidateTableConfig()
+    config.validate()
+    item_ids = index.item_ids
+    k = config.k
+    fetch = min(k * config.fetch_factor, max(index.n_items - 1, 1))
+
+    shop = np.asarray([item.si_values["shop"] for item in dataset.items])
+    brand = np.asarray([item.si_values["brand"] for item in dataset.items])
+
+    candidates = np.full((len(item_ids), k), -1, dtype=np.int64)
+    scores = np.full((len(item_ids), k), -np.inf)
+    for row, item_id in enumerate(item_ids):
+        raw_items, raw_scores = index.topk(int(item_id), fetch)
+        shop_counts: dict[int, int] = {}
+        brand_counts: dict[int, int] = {}
+        kept = 0
+        for cand, score in zip(raw_items, raw_scores):
+            cand = int(cand)
+            if config.min_score is not None and score < config.min_score:
+                break  # raw lists are sorted; everything after is worse
+            s, b = int(shop[cand]), int(brand[cand])
+            if config.max_per_shop is not None:
+                if shop_counts.get(s, 0) >= config.max_per_shop:
+                    continue
+            if config.max_per_brand is not None:
+                if brand_counts.get(b, 0) >= config.max_per_brand:
+                    continue
+            shop_counts[s] = shop_counts.get(s, 0) + 1
+            brand_counts[b] = brand_counts.get(b, 0) + 1
+            candidates[row, kept] = cand
+            scores[row, kept] = score
+            kept += 1
+            if kept == k:
+                break
+    scores[scores == -np.inf] = 0.0
+    logger.info(
+        "candidate table: %d items x top-%d (fetch %d)",
+        len(item_ids),
+        k,
+        fetch,
+    )
+    return CandidateTable(item_ids.copy(), candidates, scores)

@@ -1,0 +1,45 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so applications control output.
+:func:`get_logger` is the single entry point used by all modules.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("core.sgns")`` and ``get_logger("repro.core.sgns")`` both
+    return the logger named ``repro.core.sgns``.
+    """
+    if name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_basic_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the ``repro`` logger.
+
+    Intended for scripts and benchmarks; library code must not call this.
+    Calling it twice replaces the previous handler rather than stacking.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)

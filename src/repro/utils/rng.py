@@ -1,0 +1,53 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an ``int``, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`ensure_rng` converts any of these
+into a ``Generator`` instance; :func:`spawn_rngs` derives independent child
+generators (one per simulated worker, for example) from a parent in a way
+that is stable across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh nondeterministic generator), an integer seed, or an
+        existing generator (returned unchanged).
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is none of the accepted types.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Children are produced with :meth:`numpy.random.Generator.spawn` so the
+    streams do not overlap.  Deriving workers' generators this way keeps a
+    multi-worker simulation reproducible regardless of scheduling order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = ensure_rng(seed)
+    return list(rng.spawn(count))

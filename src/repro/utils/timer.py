@@ -1,0 +1,48 @@
+"""A small wall-clock timer used by trainers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds between the last start/stop pair (live if still running)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

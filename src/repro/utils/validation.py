@@ -1,0 +1,44 @@
+"""Argument-validation helpers.
+
+All public constructors validate their inputs eagerly and raise
+``ValueError``/``TypeError`` with messages that name the offending
+parameter, so configuration errors surface at build time rather than deep
+inside a training loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str, strict: bool = True) -> None:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> None:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+
+
+def require_type(value: Any, name: str, *types: type) -> None:
+    """Validate that ``value`` is an instance of one of ``types``."""
+    if not isinstance(value, types):
+        expected = " or ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

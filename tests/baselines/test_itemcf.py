@@ -1,0 +1,125 @@
+"""Unit tests for the item-based CF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.itemcf import ItemCF, ItemCFConfig
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+
+
+def make_dataset(session_items, n_items=8):
+    items = [ItemMeta(i, {f: 0 for f in ITEM_SI_FEATURES}) for i in range(n_items)]
+    users = [UserMeta(0, 0, 0, 0)]
+    sessions = [Session(0, list(s)) for s in session_items]
+    return BehaviorDataset(items, users, sessions)
+
+
+class TestConfig:
+    def test_default_valid(self):
+        ItemCFConfig().validate()
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ItemCFConfig(window=0).validate()
+
+    def test_invalid_max_neighbors(self):
+        with pytest.raises(ValueError):
+            ItemCFConfig(max_neighbors=0).validate()
+
+
+class TestFitting:
+    def test_unfitted_guards(self):
+        cf = ItemCF()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            cf.topk(0, 5)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            0 in cf
+
+    def test_cooccurring_items_become_neighbors(self):
+        ds = make_dataset([[0, 1], [0, 1], [0, 2]])
+        cf = ItemCF().fit(ds)
+        items, scores = cf.topk(0, 2)
+        assert items[0] == 1  # stronger co-occurrence wins
+        assert scores[0] > scores[1]
+
+    def test_symmetric_by_default(self):
+        ds = make_dataset([[0, 1]] * 3)
+        cf = ItemCF().fit(ds)
+        assert 0 in cf and 1 in cf
+        assert cf.topk(1, 1)[0][0] == 0
+
+    def test_directional_mode_counts_forward_only(self):
+        ds = make_dataset([[0, 1]] * 3)
+        cf = ItemCF(ItemCFConfig(directional=True)).fit(ds)
+        assert cf.topk(0, 1)[0][0] == 1
+        assert 1 not in cf  # item 1 has no forward co-clicks
+
+    def test_window_limits_cooccurrence(self):
+        ds = make_dataset([[0, 1, 2, 3, 4, 5]])
+        cf = ItemCF(ItemCFConfig(window=1, damp_long_sessions=False)).fit(ds)
+        items, _ = cf.topk(0, 5)
+        assert set(items.tolist()) == {1}
+
+    def test_popularity_normalization(self):
+        """A hub item co-occurring with everything is down-weighted."""
+        sessions = [[0, 1]] * 3 + [[2, 1]] * 3 + [[3, 1]] * 3  # 1 is the hub
+        sessions += [[0, 4]] * 3  # 0-4 is exclusive
+        ds = make_dataset(sessions)
+        cf = ItemCF(ItemCFConfig(damp_long_sessions=False)).fit(ds)
+        items, _scores = cf.topk(0, 2)
+        assert items[0] == 4  # exclusive partner outranks the hub
+
+    def test_max_neighbors_truncation(self):
+        sessions = [[0, i] for i in range(1, 8)] * 2
+        ds = make_dataset(sessions)
+        cf = ItemCF(ItemCFConfig(max_neighbors=3)).fit(ds)
+        items, _ = cf.topk(0, 10)
+        assert len(items) == 3
+
+    def test_self_transitions_ignored(self):
+        ds = make_dataset([[0, 0, 1]])
+        cf = ItemCF().fit(ds)
+        items, _ = cf.topk(0, 5)
+        assert 0 not in items
+
+    def test_empty_dataset_warns_but_fits(self):
+        ds = make_dataset([])
+        cf = ItemCF().fit(ds)
+        assert 0 not in cf
+
+    def test_unknown_item_topk_raises(self):
+        ds = make_dataset([[0, 1]])
+        cf = ItemCF().fit(ds)
+        with pytest.raises(KeyError):
+            cf.topk(7, 3)
+
+
+class TestBatchInterface:
+    def test_batch_matches_single(self):
+        ds = make_dataset([[0, 1, 2], [1, 2, 3], [0, 2]])
+        cf = ItemCF().fit(ds)
+        batch = cf.topk_batch(np.array([0, 1]), k=3)
+        for row, query in enumerate([0, 1]):
+            single, _ = cf.topk(query, 3)
+            np.testing.assert_array_equal(batch[row, : len(single)], single)
+
+    def test_unknown_items_padded(self):
+        ds = make_dataset([[0, 1]])
+        cf = ItemCF().fit(ds)
+        batch = cf.topk_batch(np.array([7]), k=3)
+        assert np.all(batch == -1)
+
+    def test_evaluator_compatible(self, tiny_split):
+        """CF plugs into the HR evaluator without adapters."""
+        from repro.eval.hitrate import evaluate_hitrate
+
+        train, test = tiny_split
+        cf = ItemCF().fit(train)
+        result = evaluate_hitrate(cf, test, ks=(1, 10), name="CF")
+        assert 0.0 <= result.hit_rates[1] <= result.hit_rates[10] <= 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for k-means and the IVF approximate index."""
+
+import numpy as np
+import pytest
+
+from repro.core.ann import IVFIndex, kmeans
+from repro.core.similarity import SimilarityIndex
+
+
+class TestKMeans:
+    def test_separated_blobs_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(40, 3))
+        b = rng.normal(size=(40, 3)) + 12.0
+        x = np.vstack([a, b])
+        _centroids, assignments = kmeans(x, 2, seed=1)
+        first, second = assignments[:40], assignments[40:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_assignment_shape_and_range(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 4))
+        centroids, assignments = kmeans(x, 5, seed=0)
+        assert centroids.shape == (5, 4)
+        assert assignments.shape == (30,)
+        assert set(np.unique(assignments)) <= set(range(5))
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(6, 2))
+        _c, assignments = kmeans(x, 6, seed=0)
+        assert len(set(assignments.tolist())) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 5)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(3), 1)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 3))
+        a = kmeans(x, 4, seed=9)[1]
+        b = kmeans(x, 4, seed=9)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.fixture(scope="module")
+def exact_index(fitted_sgns):
+    return fitted_sgns.index
+
+
+class TestIVFIndex:
+    def test_exhaustive_probe_matches_exact(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=8, n_probe=8, seed=0)
+        for query in exact_index.item_ids[:5]:
+            exact_items, _ = exact_index.topk(int(query), 10)
+            approx_items, _ = ivf.topk(int(query), 10)
+            np.testing.assert_array_equal(exact_items, approx_items)
+
+    def test_recall_increases_with_probes(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=16, seed=0)
+        queries = exact_index.item_ids[:30]
+        low = ivf.recall_at_k(queries, k=10, n_probe=1)
+        high = ivf.recall_at_k(queries, k=10, n_probe=16)
+        assert high >= low
+        assert high == pytest.approx(1.0)
+
+    def test_partial_probe_recall_reasonable(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=12, n_probe=4, seed=0)
+        recall = ivf.recall_at_k(exact_index.item_ids[:40], k=10)
+        assert recall > 0.5
+
+    def test_query_excluded(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=4, n_probe=4, seed=0)
+        items, _ = ivf.topk(0, 10)
+        assert 0 not in items
+
+    def test_topk_by_vector(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=4, n_probe=4, seed=0)
+        query = exact_index.query_vector(int(exact_index.item_ids[0]))
+        items, scores = ivf.topk_by_vector(query, 5)
+        assert len(items) == 5
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_contains(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=4, seed=0)
+        assert int(exact_index.item_ids[0]) in ivf
+
+    def test_default_cell_count(self, exact_index):
+        ivf = IVFIndex(exact_index, seed=0)
+        assert ivf.n_cells == max(1, int(np.sqrt(exact_index.n_items)))
+
+    def test_validation(self, exact_index):
+        with pytest.raises(ValueError):
+            IVFIndex(exact_index, n_probe=0)
+        with pytest.raises(ValueError):
+            IVFIndex(exact_index, n_cells=10**6)

@@ -1,0 +1,110 @@
+"""Unit tests for cold-start item (Eq. 6) and cold-start user recipes."""
+
+import numpy as np
+import pytest
+
+from repro.core.coldstart import (
+    cold_user_vector,
+    infer_cold_item_vector,
+    recommend_for_cold_item,
+    recommend_for_cold_user,
+)
+from repro.core.model import EmbeddingModel
+from repro.core.similarity import SimilarityIndex
+from repro.core.vocab import TokenKind, Vocabulary
+
+
+def make_model():
+    """Two items, two SI tokens, two user types with known vectors."""
+    vocab = Vocabulary()
+    vocab.add("item_0", TokenKind.ITEM, 0, count=3)
+    vocab.add("item_1", TokenKind.ITEM, 1, count=3)
+    vocab.add("brand_1", TokenKind.SI, ("brand", 1), count=3)
+    vocab.add("style_2", TokenKind.SI, ("style", 2), count=3)
+    vocab.add("UT_F_18-24_low", TokenKind.USER_TYPE, (0, 0, 0, ()), count=2)
+    vocab.add("UT_F_25-30_low", TokenKind.USER_TYPE, (0, 1, 0, ()), count=2)
+    w_in = np.array(
+        [
+            [1.0, 0.0],  # item_0
+            [0.0, 1.0],  # item_1
+            [2.0, 0.0],  # brand_1
+            [0.0, 0.5],  # style_2
+            [4.0, 0.0],  # UT F 18-24
+            [0.0, 2.0],  # UT F 25-30
+        ]
+    )
+    return EmbeddingModel(vocab, w_in, np.zeros_like(w_in))
+
+
+class TestColdItem:
+    def test_eq6_sums_known_si_vectors(self):
+        model = make_model()
+        vec = infer_cold_item_vector(model, {"brand": 1, "style": 2})
+        np.testing.assert_allclose(vec, [2.0, 0.5])
+
+    def test_unknown_si_skipped(self):
+        model = make_model()
+        vec = infer_cold_item_vector(model, {"brand": 1, "style": 99})
+        np.testing.assert_allclose(vec, [2.0, 0.0])
+
+    def test_all_unknown_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="cannot infer"):
+            infer_cold_item_vector(model, {"brand": 99})
+
+    def test_retrieval_points_to_si_aligned_item(self):
+        model = make_model()
+        index = SimilarityIndex(model, mode="cosine")
+        items, _ = recommend_for_cold_item(model, index, {"brand": 1}, k=1)
+        assert items[0] == 0  # item_0 is aligned with brand_1
+
+    def test_cold_item_of_trained_world_lands_in_leaf(self, fitted_sisg, tiny_dataset):
+        """A new item described by an existing item's SI should retrieve
+        neighbours concentrated in that item's leaf category."""
+        probe = tiny_dataset.items[0]
+        items, _ = fitted_sisg.recommend_cold_item(dict(probe.si_values), k=10)
+        leaves = [tiny_dataset.leaf_of(int(i)) for i in items]
+        assert leaves.count(probe.leaf_category) >= 5
+
+
+class TestColdUser:
+    def test_average_over_matching_types(self):
+        model = make_model()
+        vec = cold_user_vector(model, gender="F")
+        np.testing.assert_allclose(vec, [2.0, 1.0])
+
+    def test_filter_by_age(self):
+        model = make_model()
+        vec = cold_user_vector(model, gender="F", age_bucket="18-24")
+        np.testing.assert_allclose(vec, [4.0, 0.0])
+
+    def test_no_filters_averages_all(self):
+        model = make_model()
+        vec = cold_user_vector(model)
+        np.testing.assert_allclose(vec, [2.0, 1.0])
+
+    def test_no_match_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="no trained user type"):
+            cold_user_vector(model, gender="M")
+
+    def test_invalid_demographics_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="unknown age bucket"):
+            cold_user_vector(model, age_bucket="90-99")
+        with pytest.raises(ValueError, match="unknown purchase power"):
+            cold_user_vector(model, purchase_power="ultra")
+
+    def test_retrieval_for_cold_user(self):
+        model = make_model()
+        index = SimilarityIndex(model, mode="cosine")
+        items, _ = recommend_for_cold_user(
+            model, index, k=1, gender="F", age_bucket="18-24"
+        )
+        assert items[0] == 0
+
+    def test_different_demographics_get_different_recs(self, fitted_sisg):
+        """Fig. 4's premise: cohorts receive visibly different slates."""
+        a, _ = fitted_sisg.recommend_cold_user(k=20, gender="F")
+        b, _ = fitted_sisg.recommend_cold_user(k=20, gender="M")
+        assert set(a.tolist()) != set(b.tolist())

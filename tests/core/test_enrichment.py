@@ -1,0 +1,143 @@
+"""Unit tests for SI-enhanced sequence construction (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.enrichment import (
+    build_enriched_corpus,
+    item_token,
+    si_token,
+    user_type_key,
+    user_type_token,
+)
+from repro.core.vocab import TokenKind
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+
+
+def tiny_dataset() -> BehaviorDataset:
+    items = [
+        ItemMeta(i, {f: (i + k) % 3 for k, f in enumerate(ITEM_SI_FEATURES)})
+        for i in range(4)
+    ]
+    users = [
+        UserMeta(0, 0, 1, 2, (0, 2)),
+        UserMeta(1, 1, 0, 0, ()),
+    ]
+    sessions = [Session(0, [0, 1, 2]), Session(1, [2, 3])]
+    return BehaviorDataset(items, users, sessions)
+
+
+class TestTokenRendering:
+    def test_item_token(self):
+        assert item_token(42) == "item_42"
+
+    def test_si_token(self):
+        assert si_token("leaf_category", 1234) == "leaf_category_1234"
+
+    def test_user_type_token_includes_all_parts(self):
+        user = UserMeta(0, 0, 1, 2, (0, 1))
+        token = user_type_token(user)
+        assert token == "UT_F_25-30_high_married_haschildren"
+
+    def test_user_type_token_without_tags(self):
+        user = UserMeta(0, 1, 0, 0, ())
+        assert user_type_token(user) == "UT_M_18-24_low"
+
+    def test_user_type_key_matches_identity(self):
+        user = UserMeta(5, 1, 2, 0, (3,))
+        assert user_type_key(user) == (1, 2, 0, (3,))
+
+
+class TestEnrichedStructure:
+    def test_sequence_layout_matches_eq4(self):
+        """Each item is followed by its SI tokens; UT token ends the seq."""
+        ds = tiny_dataset()
+        corpus = build_enriched_corpus(ds, with_si=True, with_user_types=True)
+        n_si = len(ITEM_SI_FEATURES)
+        seq = corpus.sequences[0]
+        assert len(seq) == 3 * (1 + n_si) + 1
+        vocab = corpus.vocab
+        # First token is item_0, then its SI in Table-I order.
+        assert vocab.token_of(int(seq[0])) == "item_0"
+        for k, feature in enumerate(ITEM_SI_FEATURES):
+            expected = si_token(feature, ds.items[0].si_values[feature])
+            assert vocab.token_of(int(seq[1 + k])) == expected
+        # Next block starts with item_1; last token is the user type.
+        assert vocab.token_of(int(seq[1 + n_si])) == "item_1"
+        assert vocab.kind_of(int(seq[-1])) is TokenKind.USER_TYPE
+
+    def test_no_si_no_ut_reduces_to_items(self):
+        ds = tiny_dataset()
+        corpus = build_enriched_corpus(ds, with_si=False, with_user_types=False)
+        assert [len(s) for s in corpus.sequences] == [3, 2]
+        for seq in corpus.sequences:
+            for token_id in seq:
+                assert corpus.vocab.kind_of(int(token_id)) is TokenKind.ITEM
+
+    def test_user_types_only(self):
+        ds = tiny_dataset()
+        corpus = build_enriched_corpus(ds, with_si=False, with_user_types=True)
+        assert [len(s) for s in corpus.sequences] == [4, 3]
+        assert corpus.vocab.kind_of(int(corpus.sequences[0][-1])) is (
+            TokenKind.USER_TYPE
+        )
+
+    def test_counts_match_occurrences(self):
+        ds = tiny_dataset()
+        corpus = build_enriched_corpus(ds, with_si=True, with_user_types=True)
+        vocab = corpus.vocab
+        # item 2 appears in both sessions.
+        assert vocab.count_of(vocab.id_of("item_2")) == 2
+        # Total counts equal total tokens.
+        assert int(vocab.counts.sum()) == corpus.n_tokens
+
+    def test_item_vocab_ids_cover_all_items(self):
+        ds = tiny_dataset()
+        corpus = build_enriched_corpus(ds)
+        ids = corpus.item_vocab_ids()
+        recovered = sorted(corpus.vocab.item_id_of(int(v)) for v in ids)
+        assert recovered == [0, 1, 2, 3]
+
+    def test_same_user_type_shared_across_users(self):
+        items = [ItemMeta(0, {f: 0 for f in ITEM_SI_FEATURES})]
+        users = [UserMeta(0, 0, 0, 0, ()), UserMeta(1, 0, 0, 0, ())]
+        sessions = [Session(0, [0]), Session(1, [0])]
+        ds = BehaviorDataset(items, users, sessions)
+        corpus = build_enriched_corpus(ds, with_si=False, with_user_types=True)
+        ut_ids = corpus.vocab.ids_of_kind(TokenKind.USER_TYPE)
+        assert len(ut_ids) == 1
+        assert corpus.vocab.count_of(int(ut_ids[0])) == 2
+
+    def test_extending_existing_vocab_keeps_ids(self):
+        ds = tiny_dataset()
+        first = build_enriched_corpus(ds)
+        second = build_enriched_corpus(ds, vocab=first.vocab)
+        assert second.vocab is first.vocab
+        # Frequencies accumulated over both passes.
+        vocab = first.vocab
+        assert vocab.count_of(vocab.id_of("item_2")) == 4
+
+    def test_n_tokens_and_n_sequences(self):
+        ds = tiny_dataset()
+        corpus = build_enriched_corpus(ds, with_si=False, with_user_types=False)
+        assert corpus.n_sequences == 2
+        assert corpus.n_tokens == 5
+
+
+class TestAgainstWorldFixture:
+    def test_enrichment_scales_token_count(self, tiny_dataset):
+        plain = build_enriched_corpus(
+            tiny_dataset, with_si=False, with_user_types=False
+        )
+        enriched = build_enriched_corpus(
+            tiny_dataset, with_si=True, with_user_types=True
+        )
+        n_si = len(ITEM_SI_FEATURES)
+        expected = plain.n_tokens * (1 + n_si) + tiny_dataset.n_sessions
+        assert enriched.n_tokens == expected

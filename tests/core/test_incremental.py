@@ -1,0 +1,115 @@
+"""Tests for warm-start (incremental) daily retraining."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import embedding_drift, incremental_update
+from repro.core.sgns import SGNSConfig
+from repro.core.similarity import SimilarityIndex
+from repro.core.vocab import TokenKind
+from repro.data.schema import BehaviorDataset, ItemMeta, Session
+from repro.data.synthetic import SyntheticWorld
+
+
+@pytest.fixture(scope="module")
+def two_days(tiny_world: SyntheticWorld):
+    """Day-1 dataset, plus a day-2 dataset with three brand-new items."""
+    users = tiny_world.generate_users()
+    day1 = BehaviorDataset(
+        tiny_world.items, users, tiny_world.generate_sessions(users, 500),
+        validate=False,
+    )
+    # Day 2: same world, fresh sessions, plus new items cloned from
+    # existing ones' SI (new listings in known categories).
+    new_items = list(tiny_world.items)
+    clones = []
+    for base in (0, 50, 100):
+        new_id = len(new_items)
+        clone = ItemMeta(new_id, dict(tiny_world.items[base].si_values))
+        new_items.append(clone)
+        clones.append((new_id, base))
+    sessions = tiny_world.generate_sessions(users, 500)
+    # Splice the new items right after their SI twins so they get traffic.
+    for idx, (new_id, base) in enumerate(clones):
+        for session in sessions[idx::17]:
+            if base in session.items:
+                session.items.insert(session.items.index(base) + 1, new_id)
+    day2 = BehaviorDataset(new_items, users, sessions, validate=False)
+    return day1, day2, clones
+
+
+@pytest.fixture(scope="module")
+def day1_model(two_days):
+    from repro.core.sisg import SISG
+
+    day1, _day2, _clones = two_days
+    return SISG.sisg_f(dim=12, epochs=2, window=2, negatives=4, seed=1).fit(
+        day1
+    ).model
+
+
+CONT_CFG = SGNSConfig(dim=12, epochs=1, window=4, negatives=4, seed=2)
+
+
+class TestIncrementalUpdate:
+    def test_vocabulary_ids_preserved(self, two_days, day1_model):
+        _day1, day2, _clones = two_days
+        updated = incremental_update(day1_model, day2, CONT_CFG)
+        for token_id, token in enumerate(day1_model.vocab.tokens()):
+            assert updated.vocab.id_of(token) == token_id
+
+    def test_new_items_get_vectors(self, two_days, day1_model):
+        _day1, day2, clones = two_days
+        updated = incremental_update(day1_model, day2, CONT_CFG)
+        for new_id, _base in clones:
+            vec = updated.item_vector(new_id)
+            assert np.linalg.norm(vec) > 0
+
+    def test_new_item_lands_near_si_twin(self, two_days, day1_model):
+        """SI warm-start: a new item must retrieve near its metadata twin."""
+        _day1, day2, clones = two_days
+        updated = incremental_update(day1_model, day2, CONT_CFG)
+        index = SimilarityIndex(updated, mode="cosine")
+        hits = 0
+        for new_id, base in clones:
+            items, _ = index.topk(new_id, k=30)
+            twin_leaf = day2.leaf_of(base)
+            same_leaf = sum(day2.leaf_of(int(i)) == twin_leaf for i in items)
+            hits += same_leaf >= 5
+        assert hits >= 2
+
+    def test_previous_model_not_mutated(self, two_days, day1_model):
+        _day1, day2, _clones = two_days
+        before = day1_model.w_in.copy()
+        incremental_update(day1_model, day2, CONT_CFG)
+        np.testing.assert_array_equal(day1_model.w_in, before)
+
+    def test_drift_is_bounded(self, two_days, day1_model):
+        """Warm-started vectors stay close to yesterday's (the point of
+        warm starting)."""
+        _day1, day2, _clones = two_days
+        updated = incremental_update(
+            day1_model, day2, CONT_CFG, lr_decay=0.3
+        )
+        drift = embedding_drift(day1_model, updated, kind=TokenKind.ITEM)
+        assert 0.0 <= drift < 0.5
+
+    def test_lr_decay_validation(self, two_days, day1_model):
+        _day1, day2, _clones = two_days
+        with pytest.raises(ValueError):
+            incremental_update(day1_model, day2, CONT_CFG, lr_decay=0.0)
+        with pytest.raises(ValueError):
+            incremental_update(day1_model, day2, CONT_CFG, lr_decay=1.5)
+
+
+class TestDrift:
+    def test_identical_models_zero_drift(self, day1_model):
+        assert embedding_drift(day1_model, day1_model) == pytest.approx(0.0)
+
+    def test_kind_filter(self, two_days, day1_model):
+        _day1, day2, _clones = two_days
+        updated = incremental_update(day1_model, day2, CONT_CFG)
+        item_drift = embedding_drift(day1_model, updated, kind=TokenKind.ITEM)
+        total_drift = embedding_drift(day1_model, updated)
+        assert item_drift >= 0.0
+        assert total_drift >= 0.0

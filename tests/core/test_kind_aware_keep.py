@@ -1,0 +1,84 @@
+"""Tests for scale-faithful (kind-aware) subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.enrichment import build_enriched_corpus
+from repro.core.sisg import SISG, kind_aware_keep
+from repro.core.vocab import TokenKind
+
+
+@pytest.fixture(scope="module")
+def rich_corpus(tiny_split):
+    train, _ = tiny_split
+    return build_enriched_corpus(train, with_si=True, with_user_types=True)
+
+
+class TestKindAwareKeep:
+    def test_items_always_kept(self, rich_corpus):
+        keep = kind_aware_keep(rich_corpus, threshold=1e-6)
+        item_ids = rich_corpus.vocab.ids_of_kind(TokenKind.ITEM)
+        np.testing.assert_array_equal(keep[item_ids], 1.0)
+
+    def test_hot_si_subsampled(self, rich_corpus):
+        keep = kind_aware_keep(rich_corpus, threshold=1e-4)
+        vocab = rich_corpus.vocab
+        si_ids = vocab.ids_of_kind(TokenKind.SI)
+        counts = vocab.counts
+        hottest_si = si_ids[np.argmax(counts[si_ids])]
+        assert keep[hottest_si] < 0.5
+
+    def test_disabled_threshold_keeps_everything(self, rich_corpus):
+        keep = kind_aware_keep(rich_corpus, threshold=0.0)
+        np.testing.assert_array_equal(keep, 1.0)
+
+    def test_probabilities_in_unit_interval(self, rich_corpus):
+        keep = kind_aware_keep(rich_corpus, threshold=1e-3)
+        assert np.all((keep >= 0.0) & (keep <= 1.0))
+
+    def test_does_not_mutate_shared_state(self, rich_corpus):
+        counts_before = rich_corpus.vocab.counts.copy()
+        kind_aware_keep(rich_corpus, threshold=1e-3)
+        np.testing.assert_array_equal(rich_corpus.vocab.counts, counts_before)
+
+
+class TestSISGIntegration:
+    def test_flag_changes_training(self, tiny_split):
+        """With tiny vocabularies, global subsampling massacres items;
+        the scale-faithful flag must change the trained model."""
+        train, _ = tiny_split
+        params = dict(
+            dim=8, epochs=1, window=2, negatives=3, seed=5,
+            subsample_threshold=1e-4,
+        )
+        faithful = SISG.sgns(**params)
+        assert faithful.config.scale_faithful_subsampling is True
+        faithful.fit(train)
+
+        raw = SISG.sgns(**params)
+        raw.config.scale_faithful_subsampling = False
+        raw.fit(train)
+
+        assert not np.allclose(faithful.model.w_in, raw.model.w_in)
+
+    def test_faithful_flag_beats_raw_on_aggressive_threshold(self, tiny_split):
+        """At a threshold below item frequencies, the raw policy destroys
+        the corpus while the faithful one keeps training on items."""
+        from repro.eval.hitrate import evaluate_hitrate
+
+        train, test = tiny_split
+        params = dict(
+            dim=12, epochs=2, window=2, negatives=4, seed=5,
+            subsample_threshold=1e-5,
+        )
+        faithful = SISG.sgns(**params).fit(train)
+        hr_faithful = evaluate_hitrate(
+            faithful.index, test, ks=(20,)
+        ).hit_rates[20]
+
+        raw = SISG.sgns(**params)
+        raw.config.scale_faithful_subsampling = False
+        raw.fit(train)
+        hr_raw = evaluate_hitrate(raw.index, test, ks=(20,)).hit_rates[20]
+
+        assert hr_faithful > hr_raw

@@ -1,0 +1,210 @@
+"""Unit tests for the SGNS trainer: math helpers, updates, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import AliasSampler
+from repro.core.sgns import SGNSConfig, SGNSTrainer, scatter_update, sigmoid
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        x = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_extremes_are_finite(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_zero(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestScatterUpdate:
+    def test_sum_policy_accumulates_duplicates(self):
+        matrix = np.zeros((4, 2))
+        scatter_update(
+            matrix,
+            np.array([1, 1, 2]),
+            np.array([[1.0, 0.0], [3.0, 0.0], [5.0, 0.0]]),
+            lr=1.0,
+            duplicate_policy="sum",
+            max_step_norm=None,
+        )
+        np.testing.assert_allclose(matrix[1], [-4.0, 0.0])
+        np.testing.assert_allclose(matrix[2], [-5.0, 0.0])
+
+    def test_mean_policy_averages_duplicates(self):
+        matrix = np.zeros((4, 2))
+        scatter_update(
+            matrix,
+            np.array([1, 1]),
+            np.array([[1.0, 0.0], [3.0, 0.0]]),
+            lr=1.0,
+            duplicate_policy="mean",
+            max_step_norm=None,
+        )
+        np.testing.assert_allclose(matrix[1], [-2.0, 0.0])
+
+    def test_clipping_bounds_step_norm(self):
+        matrix = np.zeros((2, 2))
+        scatter_update(
+            matrix,
+            np.array([0]),
+            np.array([[30.0, 40.0]]),
+            lr=1.0,
+            duplicate_policy="sum",
+            max_step_norm=0.5,
+        )
+        assert np.linalg.norm(matrix[0]) == pytest.approx(0.5)
+
+    def test_small_steps_not_rescaled(self):
+        matrix = np.zeros((2, 2))
+        scatter_update(
+            matrix,
+            np.array([0]),
+            np.array([[0.03, 0.04]]),
+            lr=1.0,
+            max_step_norm=0.5,
+        )
+        np.testing.assert_allclose(matrix[0], [-0.03, -0.04])
+
+    def test_untouched_rows_stay_zero(self):
+        matrix = np.zeros((5, 3))
+        scatter_update(matrix, np.array([2]), np.ones((1, 3)), lr=0.1)
+        assert np.all(matrix[[0, 1, 3, 4]] == 0.0)
+
+
+class TestConfigValidation:
+    def test_default_valid(self):
+        SGNSConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dim", 0),
+            ("window", 0),
+            ("negatives", 0),
+            ("epochs", 0),
+            ("learning_rate", 0.0),
+            ("batch_size", 0),
+            ("noise_alpha", 2.0),
+            ("min_lr_fraction", 1.5),
+            ("duplicate_policy", "max"),
+            ("max_step_norm", -1.0),
+        ],
+    )
+    def test_invalid_settings_rejected(self, field, value):
+        cfg = SGNSConfig()
+        setattr(cfg, field, value)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+
+def forward_chain_corpus(n_tokens=30, n_seqs=1500, seed=0):
+    """Sequences walking forward along 0..n_tokens-1."""
+    rng = np.random.default_rng(seed)
+    seqs = []
+    for _ in range(n_seqs):
+        start = int(rng.integers(0, n_tokens - 4))
+        length = int(rng.integers(3, 6))
+        seqs.append(np.arange(start, min(start + length, n_tokens), dtype=np.int64))
+    counts = np.bincount(np.concatenate(seqs), minlength=n_tokens)
+    return seqs, counts
+
+
+class TestTraining:
+    def test_rejects_bad_vocab_size(self):
+        with pytest.raises(ValueError):
+            SGNSTrainer(0)
+
+    def test_counts_length_mismatch_rejected(self):
+        trainer = SGNSTrainer(10, SGNSConfig(dim=4))
+        with pytest.raises(ValueError, match="counts"):
+            trainer.fit([np.array([0, 1])], np.ones(5))
+
+    def test_shapes_and_init(self):
+        trainer = SGNSTrainer(7, SGNSConfig(dim=5))
+        assert trainer.w_in.shape == (7, 5)
+        assert trainer.w_out.shape == (7, 5)
+        assert np.all(trainer.w_out == 0.0)
+        assert np.all(np.abs(trainer.w_in) <= 0.5 / 5)
+
+    def test_deterministic_given_seed(self):
+        seqs, counts = forward_chain_corpus(n_seqs=100)
+        cfg = SGNSConfig(dim=8, epochs=1, window=2, seed=5, subsample_threshold=0)
+        a = SGNSTrainer(30, cfg).fit(seqs, counts)
+        b = SGNSTrainer(30, cfg).fit(seqs, counts)
+        np.testing.assert_array_equal(a.w_in, b.w_in)
+        np.testing.assert_array_equal(a.w_out, b.w_out)
+
+    def test_loss_decreases_over_epochs(self):
+        seqs, counts = forward_chain_corpus()
+        cfg = SGNSConfig(
+            dim=12, epochs=4, window=2, learning_rate=0.05,
+            subsample_threshold=0, seed=2,
+        )
+        trainer = SGNSTrainer(30, cfg).fit(seqs, counts)
+        assert trainer.loss_history[-1] < trainer.loss_history[0]
+
+    def test_weights_remain_finite(self):
+        seqs, counts = forward_chain_corpus()
+        cfg = SGNSConfig(dim=8, epochs=3, window=3, learning_rate=0.2, seed=0)
+        trainer = SGNSTrainer(30, cfg).fit(seqs, counts)
+        assert np.all(np.isfinite(trainer.w_in))
+        assert np.all(np.isfinite(trainer.w_out))
+
+    def test_neighbors_end_up_similar(self):
+        """Adjacent chain tokens must be closer than distant ones."""
+        seqs, counts = forward_chain_corpus()
+        cfg = SGNSConfig(
+            dim=16, epochs=5, window=2, learning_rate=0.05,
+            subsample_threshold=0, seed=1,
+        )
+        trainer = SGNSTrainer(30, cfg).fit(seqs, counts)
+
+        def cos(a, b):
+            return float(
+                trainer.w_in[a]
+                @ trainer.w_in[b]
+                / (
+                    np.linalg.norm(trainer.w_in[a])
+                    * np.linalg.norm(trainer.w_in[b])
+                )
+            )
+
+        near = np.mean([cos(i, i + 1) for i in range(5, 20)])
+        far = np.mean([cos(i, i + 14) for i in range(5, 15)])
+        assert near > far + 0.2
+
+    def test_directional_model_ranks_successor_first(self):
+        """cos(in[q], out[.]) must prefer q+1 over q-1 on a forward chain."""
+        seqs, counts = forward_chain_corpus()
+        cfg = SGNSConfig(
+            dim=16, epochs=6, window=2, learning_rate=0.05,
+            subsample_threshold=0, directional=True, seed=1,
+        )
+        trainer = SGNSTrainer(30, cfg).fit(seqs, counts)
+
+        def norm(m):
+            n = np.linalg.norm(m, axis=1, keepdims=True)
+            n[n == 0] = 1.0
+            return m / n
+
+        w_in = norm(trainer.w_in)
+        w_out = norm(trainer.w_out)
+        wins = 0
+        for q in range(5, 25):
+            forward = float(w_in[q] @ w_out[q + 1])
+            backward = float(w_in[q] @ w_out[q - 1])
+            wins += forward > backward
+        assert wins >= 16  # 80% of queries prefer the true direction
+
+    def test_zero_count_tokens_never_negative_sampled(self):
+        """A token absent from the corpus keeps a zero output vector."""
+        seqs = [np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)] * 50
+        counts = np.array([100, 100, 100, 0])
+        cfg = SGNSConfig(dim=4, epochs=1, window=1, subsample_threshold=0, seed=0)
+        trainer = SGNSTrainer(4, cfg).fit(seqs, counts)
+        assert np.all(trainer.w_out[3] == 0.0)

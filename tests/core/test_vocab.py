@@ -1,0 +1,141 @@
+"""Unit tests for the token vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.vocab import TokenKind, Vocabulary
+
+
+def make_vocab() -> Vocabulary:
+    vocab = Vocabulary()
+    vocab.add("item_0", TokenKind.ITEM, 0, count=5)
+    vocab.add("item_1", TokenKind.ITEM, 1, count=3)
+    vocab.add("brand_7", TokenKind.SI, ("brand", 7), count=10)
+    vocab.add("UT_F_18-24_low", TokenKind.USER_TYPE, (0, 0, 0, ()), count=2)
+    return vocab
+
+
+class TestAdd:
+    def test_assigns_sequential_ids(self):
+        vocab = make_vocab()
+        assert vocab.id_of("item_0") == 0
+        assert vocab.id_of("item_1") == 1
+        assert vocab.id_of("brand_7") == 2
+
+    def test_idempotent_add_accumulates_count(self):
+        vocab = make_vocab()
+        token_id = vocab.add("item_0", TokenKind.ITEM, 0, count=4)
+        assert token_id == 0
+        assert vocab.count_of(0) == 9
+
+    def test_conflicting_kind_rejected(self):
+        vocab = make_vocab()
+        with pytest.raises(ValueError, match="already registered"):
+            vocab.add("item_0", TokenKind.SI)
+
+    def test_len_and_contains(self):
+        vocab = make_vocab()
+        assert len(vocab) == 4
+        assert "brand_7" in vocab
+        assert "brand_8" not in vocab
+
+
+class TestLookup:
+    def test_token_of_roundtrip(self):
+        vocab = make_vocab()
+        for token in vocab.tokens():
+            assert vocab.token_of(vocab.id_of(token)) == token
+
+    def test_get_id_returns_none_for_unknown(self):
+        assert make_vocab().get_id("nope") is None
+
+    def test_unknown_token_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            make_vocab().id_of("missing")
+
+    def test_kind_and_payload(self):
+        vocab = make_vocab()
+        assert vocab.kind_of(2) is TokenKind.SI
+        assert vocab.payload_of(2) == ("brand", 7)
+
+    def test_item_id_of(self):
+        vocab = make_vocab()
+        assert vocab.item_id_of(1) == 1
+
+    def test_item_id_of_rejects_non_item(self):
+        vocab = make_vocab()
+        with pytest.raises(ValueError, match="not an item token"):
+            vocab.item_id_of(2)
+
+
+class TestCounts:
+    def test_counts_array(self):
+        vocab = make_vocab()
+        np.testing.assert_array_equal(vocab.counts, [5, 3, 10, 2])
+
+    def test_add_count(self):
+        vocab = make_vocab()
+        vocab.add_count(1, 7)
+        assert vocab.count_of(1) == 10
+
+    def test_top_k_by_count(self):
+        vocab = make_vocab()
+        np.testing.assert_array_equal(vocab.top_k_by_count(2), [2, 0])
+
+    def test_top_k_larger_than_vocab(self):
+        vocab = make_vocab()
+        assert len(vocab.top_k_by_count(100)) == 4
+
+    def test_top_k_zero(self):
+        assert len(make_vocab().top_k_by_count(0)) == 0
+
+    def test_top_k_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_vocab().top_k_by_count(-1)
+
+    def test_top_k_ties_broken_by_id(self):
+        vocab = Vocabulary()
+        vocab.add("a", TokenKind.SI, count=5)
+        vocab.add("b", TokenKind.SI, count=5)
+        np.testing.assert_array_equal(vocab.top_k_by_count(2), [0, 1])
+
+
+class TestKinds:
+    def test_ids_of_kind(self):
+        vocab = make_vocab()
+        np.testing.assert_array_equal(vocab.ids_of_kind(TokenKind.ITEM), [0, 1])
+        np.testing.assert_array_equal(vocab.ids_of_kind(TokenKind.USER_TYPE), [3])
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        vocab = make_vocab()
+        clone = Vocabulary.from_dict(vocab.to_dict())
+        assert len(clone) == len(vocab)
+        for token_id in range(len(vocab)):
+            assert clone.token_of(token_id) == vocab.token_of(token_id)
+            assert clone.kind_of(token_id) is vocab.kind_of(token_id)
+            assert clone.payload_of(token_id) == vocab.payload_of(token_id)
+            assert clone.count_of(token_id) == vocab.count_of(token_id)
+
+    def test_nested_tuple_payload_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add("UT_x", TokenKind.USER_TYPE, (1, 2, 0, (3, 4)), count=1)
+        clone = Vocabulary.from_dict(vocab.to_dict())
+        assert clone.payload_of(0) == (1, 2, 0, (3, 4))
+
+    @given(
+        st.lists(
+            st.tuples(st.text(min_size=1, max_size=8), st.integers(0, 100)),
+            max_size=30,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_roundtrip_property(self, entries):
+        vocab = Vocabulary()
+        for token, count in entries:
+            vocab.add(token, TokenKind.SI, payload=None, count=count)
+        clone = Vocabulary.from_dict(vocab.to_dict())
+        assert list(clone.tokens()) == list(vocab.tokens())
+        np.testing.assert_array_equal(clone.counts, vocab.counts)

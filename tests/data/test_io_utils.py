@@ -1,0 +1,47 @@
+"""Unit tests for dataset persistence."""
+
+import pytest
+
+from repro.data.io_utils import load_dataset, save_dataset
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+
+        assert loaded.n_items == tiny_dataset.n_items
+        assert loaded.n_users == tiny_dataset.n_users
+        assert loaded.n_sessions == tiny_dataset.n_sessions
+
+        for a, b in zip(loaded.items, tiny_dataset.items):
+            assert a.si_values == b.si_values
+        for a, b in zip(loaded.users, tiny_dataset.users):
+            assert (a.gender_idx, a.age_idx, a.power_idx, a.tag_indices) == (
+                b.gender_idx,
+                b.age_idx,
+                b.power_idx,
+                b.tag_indices,
+            )
+        for a, b in zip(loaded.sessions, tiny_dataset.sessions):
+            assert a.user_id == b.user_id
+            assert a.items == b.items
+
+    def test_suffix_added_when_missing(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "bundle")
+        loaded = load_dataset(tmp_path / "bundle")
+        assert loaded.n_items == tiny_dataset.n_items
+
+    def test_parent_dirs_created(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "a" / "b" / "ds.npz")
+        assert (tmp_path / "a" / "b" / "ds.npz").exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_loaded_dataset_validates(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "ds.npz")
+        loaded = load_dataset(tmp_path / "ds.npz")
+        loaded._validate()

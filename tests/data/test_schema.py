@@ -1,0 +1,141 @@
+"""Unit tests for the record types and the evaluation split."""
+
+import pytest
+
+from repro.data.schema import (
+    AGE_BUCKETS,
+    GENDERS,
+    ITEM_SI_FEATURES,
+    PURCHASE_POWERS,
+    USER_TAGS,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+
+
+def full_si(base=0):
+    return {f: base + k for k, f in enumerate(ITEM_SI_FEATURES)}
+
+
+class TestItemMeta:
+    def test_requires_all_features(self):
+        with pytest.raises(ValueError, match="missing SI features"):
+            ItemMeta(0, {"brand": 1})
+
+    def test_properties(self):
+        item = ItemMeta(3, full_si())
+        assert item.leaf_category == item.si_values["leaf_category"]
+        assert item.top_category == item.si_values["top_level_category"]
+
+
+class TestUserMeta:
+    def test_valid_user(self):
+        user = UserMeta(0, 1, 2, 0, (1, 3))
+        assert user.gender == GENDERS[1]
+        assert user.age_bucket == AGE_BUCKETS[2]
+        assert user.purchase_power == PURCHASE_POWERS[0]
+        assert user.tags == (USER_TAGS[1], USER_TAGS[3])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(gender_idx=5),
+            dict(age_idx=99),
+            dict(power_idx=-1),
+            dict(tag_indices=(99,)),
+            dict(tag_indices=(2, 1)),  # unsorted
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        base = dict(user_id=0, gender_idx=0, age_idx=0, power_idx=0, tag_indices=())
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            UserMeta(**base)
+
+    def test_demographic_key(self):
+        assert UserMeta(0, 1, 2, 0).demographic_key() == (1, 2, 0)
+
+
+class TestSession:
+    def test_len_and_iter(self):
+        session = Session(0, [4, 5, 6])
+        assert len(session) == 3
+        assert list(session) == [4, 5, 6]
+
+
+def make_dataset(session_items):
+    items = [ItemMeta(i, full_si()) for i in range(10)]
+    users = [UserMeta(0, 0, 0, 0)]
+    sessions = [Session(0, list(s)) for s in session_items]
+    return BehaviorDataset(items, users, sessions)
+
+
+class TestBehaviorDataset:
+    def test_valid_construction(self):
+        ds = make_dataset([[0, 1], [2, 3, 4]])
+        assert ds.n_items == 10
+        assert ds.n_users == 1
+        assert ds.n_sessions == 2
+
+    def test_misindexed_items_rejected(self):
+        items = [ItemMeta(1, full_si())]
+        with pytest.raises(ValueError, match="indexed by item_id"):
+            BehaviorDataset(items, [UserMeta(0, 0, 0, 0)], [])
+
+    def test_misindexed_users_rejected(self):
+        items = [ItemMeta(0, full_si())]
+        with pytest.raises(ValueError, match="indexed by user_id"):
+            BehaviorDataset(items, [UserMeta(3, 0, 0, 0)], [])
+
+    def test_unknown_item_in_session_rejected(self):
+        items = [ItemMeta(0, full_si())]
+        users = [UserMeta(0, 0, 0, 0)]
+        with pytest.raises(ValueError, match="unknown item"):
+            BehaviorDataset(items, users, [Session(0, [5])])
+
+    def test_unknown_user_in_session_rejected(self):
+        items = [ItemMeta(0, full_si())]
+        users = [UserMeta(0, 0, 0, 0)]
+        with pytest.raises(ValueError, match="unknown user"):
+            BehaviorDataset(items, users, [Session(7, [0])])
+
+    def test_item_si_and_leaf_of(self):
+        ds = make_dataset([[0, 1]])
+        assert ds.item_si(0) == full_si()
+        assert ds.leaf_of(0) == full_si()["leaf_category"]
+
+    def test_sessions_of_user(self):
+        ds = make_dataset([[0, 1], [2, 3]])
+        assert len(ds.sessions_of_user(0)) == 2
+
+
+class TestSplitLastItem:
+    def test_long_sessions_truncated(self):
+        ds = make_dataset([[0, 1, 2, 3]])
+        train, test = ds.split_last_item(min_length=3)
+        assert train.sessions[0].items == [0, 1, 2]
+        assert test[0].items == [0, 1, 2, 3]
+
+    def test_short_sessions_kept_whole_and_not_tested(self):
+        ds = make_dataset([[0, 1], [2, 3, 4]])
+        train, test = ds.split_last_item(min_length=3)
+        assert train.sessions[0].items == [0, 1]
+        assert len(test) == 1
+
+    def test_min_length_validation(self):
+        ds = make_dataset([[0, 1, 2]])
+        with pytest.raises(ValueError):
+            ds.split_last_item(min_length=1)
+
+    def test_train_shares_items_and_users(self):
+        ds = make_dataset([[0, 1, 2]])
+        train, _ = ds.split_last_item()
+        assert train.items is ds.items
+        assert train.users is ds.users
+
+    def test_original_sessions_not_mutated(self):
+        ds = make_dataset([[0, 1, 2, 3]])
+        ds.split_last_item()
+        assert ds.sessions[0].items == [0, 1, 2, 3]

@@ -1,0 +1,111 @@
+"""Unit tests for the Table-II corpus statistics."""
+
+import pytest
+
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+from repro.data.stats import CorpusStats, _pair_count, compute_corpus_stats
+
+
+def make_dataset():
+    items = [
+        ItemMeta(i, {f: i % 2 for f in ITEM_SI_FEATURES}) for i in range(5)
+    ]
+    users = [UserMeta(0, 0, 0, 0, ()), UserMeta(1, 1, 1, 1, (0,))]
+    sessions = [Session(0, [0, 1, 2]), Session(1, [2, 3])]
+    return BehaviorDataset(items, users, sessions)
+
+
+class TestPairCount:
+    def test_directional_window_one(self):
+        assert _pair_count(4, window=1, directional=True) == 3
+
+    def test_symmetric_doubles_directional(self):
+        for length in (2, 5, 9):
+            for window in (1, 3, 10):
+                sym = _pair_count(length, window, directional=False)
+                dire = _pair_count(length, window, directional=True)
+                assert sym == 2 * dire
+
+    def test_window_larger_than_sequence(self):
+        # All ordered pairs: n*(n-1)/2 for directional.
+        assert _pair_count(5, window=100, directional=True) == 10
+
+    def test_empty_and_single(self):
+        assert _pair_count(0, 5, True) == 0
+        assert _pair_count(1, 5, True) == 0
+
+
+class TestComputeCorpusStats:
+    def test_items_counted_by_appearance(self):
+        stats = compute_corpus_stats(make_dataset())
+        assert stats.n_items == 4  # item 4 never appears
+
+    def test_si_feature_count(self):
+        stats = compute_corpus_stats(make_dataset(), with_si=True)
+        assert stats.n_si == len(ITEM_SI_FEATURES)
+        assert compute_corpus_stats(make_dataset(), with_si=False).n_si == 0
+
+    def test_user_types_distinct(self):
+        stats = compute_corpus_stats(make_dataset())
+        assert stats.n_user_types == 2
+
+    def test_token_count_with_enrichment(self):
+        stats = compute_corpus_stats(make_dataset())
+        n_si = len(ITEM_SI_FEATURES)
+        expected = (3 + 2) * (1 + n_si) + 2  # items*(1+si) + UT per session
+        assert stats.n_tokens == expected
+
+    def test_token_count_plain(self):
+        stats = compute_corpus_stats(
+            make_dataset(), with_si=False, with_user_types=False
+        )
+        assert stats.n_tokens == 5
+        assert stats.n_user_types == 0
+
+    def test_training_pairs_ratio(self):
+        stats = compute_corpus_stats(make_dataset(), negatives=20)
+        assert stats.n_training_pairs == stats.n_positive_pairs * 21
+
+    def test_positive_pairs_match_manual_count(self):
+        stats = compute_corpus_stats(
+            make_dataset(),
+            window=2,
+            directional=True,
+            with_si=False,
+            with_user_types=False,
+        )
+        # Session [0,1,2]: (0,1),(1,2),(0,2) = 3; session [2,3]: 1.
+        assert stats.n_positive_pairs == 4
+
+    def test_as_row_labels(self):
+        row = compute_corpus_stats(make_dataset()).as_row()
+        assert set(row) == {
+            "#Items",
+            "#SI",
+            "#User types",
+            "#Tokens",
+            "#Positive pairs",
+            "#Training pairs",
+        }
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            compute_corpus_stats(make_dataset(), window=0)
+
+    def test_stats_grow_with_corpus(self, tiny_dataset):
+        half = BehaviorDataset(
+            tiny_dataset.items,
+            tiny_dataset.users,
+            tiny_dataset.sessions[: tiny_dataset.n_sessions // 2],
+            validate=False,
+        )
+        small = compute_corpus_stats(half)
+        big = compute_corpus_stats(tiny_dataset)
+        assert big.n_tokens > small.n_tokens
+        assert big.n_positive_pairs > small.n_positive_pairs

@@ -1,0 +1,243 @@
+"""Unit tests for the synthetic world generator and its guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    AGE_BUCKETS,
+    GENDERS,
+    ITEM_SI_FEATURES,
+    PURCHASE_POWERS,
+)
+from repro.data.synthetic import (
+    SyntheticWorld,
+    SyntheticWorldConfig,
+    _zipf_weights,
+    generate_dataset,
+)
+
+
+def small_config(**overrides) -> SyntheticWorldConfig:
+    base = dict(
+        n_items=150,
+        n_users=40,
+        n_top_categories=3,
+        n_leaf_categories=6,
+        n_brands=30,
+        n_shops=40,
+        n_cities=5,
+        brands_per_leaf=5,
+        shops_per_leaf=8,
+    )
+    base.update(overrides)
+    return SyntheticWorldConfig(**base)
+
+
+class TestConfigValidation:
+    def test_default_valid(self):
+        SyntheticWorldConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_items", 0),
+            ("n_users", -1),
+            ("n_leaf_categories", 0),
+            ("forward_prob", 1.5),
+            ("forward_geom", 0.0),
+            ("cross_leaf_prob", -0.1),
+            ("mean_session_length", 1.0),
+            ("max_session_length", 2),
+            ("demographic_sharpness", 0.0),
+            ("tag_prob", 2.0),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        cfg = small_config()
+        setattr(cfg, field, value)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_fewer_leaves_than_tops_rejected(self):
+        cfg = small_config(n_leaf_categories=2, n_top_categories=3)
+        with pytest.raises(ValueError, match="n_leaf_categories"):
+            cfg.validate()
+
+    def test_fewer_items_than_leaves_rejected(self):
+        cfg = small_config(n_items=3)
+        with pytest.raises(ValueError, match="n_items"):
+            cfg.validate()
+
+
+class TestZipf:
+    def test_weights_decrease(self):
+        w = _zipf_weights(10, 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exponent_zero_uniform(self):
+        np.testing.assert_allclose(_zipf_weights(5, 0.0), 1.0)
+
+
+class TestWorldConstruction:
+    def test_every_top_category_has_a_leaf(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        assert set(world.leaf_top) == set(range(3))
+
+    def test_every_leaf_has_items(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        assert all(len(ids) >= 1 for ids in world.leaf_items)
+
+    def test_leaf_sizes_sum_to_n_items(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        assert int(world.leaf_sizes.sum()) == 150
+
+    def test_item_metadata_complete_and_consistent(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        for item in world.items:
+            assert set(item.si_values) == set(ITEM_SI_FEATURES)
+            leaf = item.leaf_category
+            assert item.top_category == world.leaf_top[leaf]
+
+    def test_ranks_are_dense_within_leaf(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        for leaf, ids in enumerate(world.leaf_items):
+            ranks = sorted(world.item_rank[ids])
+            assert ranks == list(range(len(ids)))
+
+    def test_si_blocks_are_contiguous_in_rank(self):
+        """Items adjacent on the progression axis mostly share SI values."""
+        world = SyntheticWorld(small_config(n_items=600), seed=0)
+        same_brand = 0
+        total = 0
+        for ids in world.leaf_items:
+            if len(ids) < 10:
+                continue
+            ordered = ids[np.argsort(world.item_rank[ids])]
+            for a, b in zip(ordered[:-1], ordered[1:]):
+                total += 1
+                same_brand += (
+                    world.items[a].si_values["brand"]
+                    == world.items[b].si_values["brand"]
+                )
+        assert same_brand / total > 0.6
+
+    def test_demographic_index_roundtrip(self):
+        n = len(GENDERS) * len(AGE_BUCKETS) * len(PURCHASE_POWERS)
+        for demo in range(n):
+            g, a, p = SyntheticWorld.demographic_triple(demo)
+            assert SyntheticWorld.demographic_index(g, a, p) == demo
+
+    def test_affinities_are_distributions(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        sums = world.demo_leaf_affinity.sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0)
+        assert np.all(world.demo_leaf_affinity > 0)
+
+
+class TestSampling:
+    def test_users_have_valid_demographics(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        users = world.generate_users(30)
+        assert len(users) == 30
+        for user in users:
+            assert 0 <= user.gender_idx < len(GENDERS)
+            assert user.tag_indices == tuple(sorted(user.tag_indices))
+
+    def test_session_lengths_bounded(self):
+        cfg = small_config(max_session_length=6)
+        world = SyntheticWorld(cfg, seed=0)
+        users = world.generate_users(10)
+        sessions = world.generate_sessions(users, 200)
+        lengths = [len(s) for s in sessions]
+        assert max(lengths) <= 6
+        assert min(lengths) >= 2
+
+    def test_sessions_reference_valid_items_and_users(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        ds = world.generate_dataset(n_sessions=100)
+        # BehaviorDataset validation is skipped internally; run it now.
+        ds._validate()
+
+    def test_reproducible_given_seed(self):
+        a = generate_dataset(small_config(), n_sessions=50, seed=9)
+        b = generate_dataset(small_config(), n_sessions=50, seed=9)
+        assert [s.items for s in a.sessions] == [s.items for s in b.sessions]
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(small_config(), n_sessions=50, seed=1)
+        b = generate_dataset(small_config(), n_sessions=50, seed=2)
+        assert [s.items for s in a.sessions] != [s.items for s in b.sessions]
+
+    def test_sessions_are_category_coherent(self):
+        """Most adjacent transitions stay within one leaf (HBGP premise)."""
+        world = SyntheticWorld(small_config(cross_leaf_prob=0.05), seed=0)
+        ds = world.generate_dataset(n_sessions=300)
+        same = total = 0
+        for session in ds.sessions:
+            for a, b in zip(session.items[:-1], session.items[1:]):
+                total += 1
+                same += ds.leaf_of(a) == ds.leaf_of(b)
+        assert same / total > 0.8
+
+    def test_transitions_are_forward_biased(self):
+        """Within-leaf steps move forward along the rank axis (asymmetry)."""
+        world = SyntheticWorld(small_config(forward_prob=0.9), seed=0)
+        ds = world.generate_dataset(n_sessions=300)
+        forward = backward = 0
+        for session in ds.sessions:
+            for a, b in zip(session.items[:-1], session.items[1:]):
+                if ds.leaf_of(a) != ds.leaf_of(b):
+                    continue
+                gap = world.item_rank[b] - world.item_rank[a]
+                if gap > 0:
+                    forward += 1
+                elif gap < 0:
+                    backward += 1
+        assert forward > 2 * backward
+
+    def test_popularity_long_tail(self):
+        """A minority of items should account for most clicks."""
+        world = SyntheticWorld(small_config(n_items=600, item_zipf=1.2), seed=0)
+        ds = world.generate_dataset(n_sessions=500)
+        counts = np.zeros(600)
+        for session in ds.sessions:
+            np.add.at(counts, session.items, 1)
+        counts.sort()
+        top_decile_share = counts[-60:].sum() / counts.sum()
+        assert top_decile_share > 0.3
+
+
+class TestGroundTruthScores:
+    def test_forward_neighbor_beats_backward(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        users = world.generate_users(1)
+        # Pick a mid-rank item of the largest leaf.
+        leaf = int(np.argmax(world.leaf_sizes))
+        ids = world.leaf_items[leaf]
+        mid = ids[len(ids) // 2]
+        fwd, bwd = ids[len(ids) // 2 + 1], ids[len(ids) // 2 - 1]
+        scores = world.next_item_scores(int(mid), users[0], np.array([fwd, bwd]))
+        assert scores[0] > scores[1]
+
+    def test_scores_nonnegative(self):
+        world = SyntheticWorld(small_config(), seed=0)
+        users = world.generate_users(1)
+        candidates = np.arange(0, 150, 10)
+        scores = world.next_item_scores(0, users[0], candidates)
+        assert np.all(scores >= 0)
+
+    def test_same_leaf_beats_unrelated_leaf(self):
+        world = SyntheticWorld(small_config(cross_leaf_prob=0.02), seed=0)
+        users = world.generate_users(1)
+        leaf = int(np.argmax(world.leaf_sizes))
+        ids = world.leaf_items[leaf]
+        query = int(ids[0])
+        same = int(ids[1])
+        related = set(int(x) for x in world.leaf_related[leaf])
+        unrelated_leaf = next(
+            l for l in range(len(world.leaf_items))
+            if l != leaf and l not in related
+        )
+        other = int(world.leaf_items[unrelated_leaf][0])
+        scores = world.next_item_scores(query, users[0], np.array([same, other]))
+        assert scores[0] > scores[1]

@@ -1,0 +1,96 @@
+"""Unit tests for the cluster cost model and accounting."""
+
+import pytest
+
+from repro.distributed.cluster import ClusterStats, CostModel, WorkerClock
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel().validate()
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(flops_per_second=0).validate()
+        with pytest.raises(ValueError):
+            CostModel(floats_per_second=-1).validate()
+
+    def test_compute_scales_linearly_in_pairs(self):
+        model = CostModel()
+        one = model.compute_seconds(10, negatives=5, dim=16)
+        two = model.compute_seconds(20, negatives=5, dim=16)
+        assert two == pytest.approx(2 * one)
+
+    def test_compute_scales_with_negatives_and_dim(self):
+        model = CostModel()
+        base = model.compute_seconds(10, negatives=5, dim=16)
+        assert model.compute_seconds(10, negatives=11, dim=16) == pytest.approx(
+            2 * base
+        )
+        assert model.compute_seconds(10, negatives=5, dim=32) == pytest.approx(
+            2 * base
+        )
+
+    def test_transfer_time(self):
+        model = CostModel(floats_per_second=1e6)
+        assert model.transfer_seconds(500_000) == pytest.approx(0.5)
+
+    def test_sync_includes_latency(self):
+        model = CostModel(sync_latency=0.1, floats_per_second=1e9)
+        assert model.sync_seconds(0, 16, 4) == pytest.approx(0.1)
+
+    def test_sync_scales_with_workers(self):
+        model = CostModel(sync_latency=0.0)
+        small = model.sync_seconds(100, 16, 2)
+        big = model.sync_seconds(100, 16, 5)
+        assert big == pytest.approx(4 * small)
+
+
+class TestWorkerClock:
+    def test_accumulation(self):
+        clock = WorkerClock(0)
+        clock.add_compute(1.5)
+        clock.add_compute(0.5)
+        clock.add_communication(1.0)
+        assert clock.compute == 2.0
+        assert clock.communication == 1.0
+        assert clock.busy == 3.0
+
+
+class TestClusterStats:
+    def make(self, computes, comms, **kwargs):
+        clocks = []
+        for i, (cp, cm) in enumerate(zip(computes, comms)):
+            clock = WorkerClock(i)
+            clock.add_compute(cp)
+            clock.add_communication(cm)
+            clocks.append(clock)
+        return ClusterStats.from_clocks(clocks, **kwargs)
+
+    def test_simulated_seconds_is_slowest_worker(self):
+        stats = self.make([1.0, 3.0, 2.0], [0.5, 0.0, 0.5])
+        assert stats.simulated_seconds == pytest.approx(3.0)
+
+    def test_sync_time_added(self):
+        stats = self.make([1.0], [0.0], sync_seconds=0.25)
+        assert stats.simulated_seconds == pytest.approx(1.25)
+
+    def test_remote_fraction(self):
+        stats = self.make([1.0], [0.0], pairs_processed=100, pairs_remote=25)
+        assert stats.remote_fraction == pytest.approx(0.25)
+
+    def test_remote_fraction_empty(self):
+        stats = self.make([1.0], [0.0])
+        assert stats.remote_fraction == 0.0
+
+    def test_compute_imbalance(self):
+        stats = self.make([1.0, 3.0], [0.0, 0.0])
+        assert stats.compute_imbalance == pytest.approx(1.5)
+
+    def test_balanced_imbalance_is_one(self):
+        stats = self.make([2.0, 2.0], [0.0, 0.0])
+        assert stats.compute_imbalance == pytest.approx(1.0)
+
+    def test_from_clocks_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            ClusterStats.from_clocks([])

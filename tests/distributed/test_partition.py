@@ -1,0 +1,96 @@
+"""Unit tests for vocabulary partitioning and the hot set."""
+
+import numpy as np
+import pytest
+
+from repro.core.enrichment import build_enriched_corpus
+from repro.core.vocab import TokenKind
+from repro.distributed.partition import TokenPartition, build_token_partition
+from repro.graph.hbgp import HBGPConfig, hbgp_partition
+
+
+class TestTokenPartitionValidation:
+    def test_owner_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TokenPartition(
+                owner=np.array([0, 5]), shared=np.zeros(2, bool), n_workers=2
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TokenPartition(
+                owner=np.array([0]), shared=np.zeros(2, bool), n_workers=1
+            )
+
+    def test_tokens_of_worker(self):
+        partition = TokenPartition(
+            owner=np.array([0, 1, 0, 1]),
+            shared=np.zeros(4, bool),
+            n_workers=2,
+        )
+        np.testing.assert_array_equal(partition.tokens_of_worker(0), [0, 2])
+        np.testing.assert_array_equal(partition.tokens_of_worker(1), [1, 3])
+
+
+class TestBuildTokenPartition:
+    def test_every_token_assigned(self, tiny_dataset):
+        corpus = build_enriched_corpus(tiny_dataset)
+        partition = build_token_partition(corpus, n_workers=3, seed=0)
+        assert len(partition.owner) == len(corpus.vocab)
+        assert set(np.unique(partition.owner)) <= {0, 1, 2}
+
+    def test_hbgp_item_assignment_respected(self, tiny_dataset):
+        corpus = build_enriched_corpus(tiny_dataset)
+        hbgp = hbgp_partition(tiny_dataset, HBGPConfig(n_partitions=3))
+        partition = build_token_partition(
+            corpus, n_workers=3, item_partition=hbgp.item_partition, seed=0
+        )
+        vocab = corpus.vocab
+        for vid in vocab.ids_of_kind(TokenKind.ITEM):
+            item_id = vocab.item_id_of(int(vid))
+            assert partition.owner[vid] == hbgp.item_partition[item_id]
+
+    def test_hot_set_contains_most_frequent(self, tiny_dataset):
+        corpus = build_enriched_corpus(tiny_dataset)
+        partition = build_token_partition(
+            corpus, n_workers=2, hot_threshold=0.01, seed=0
+        )
+        counts = corpus.vocab.counts
+        total = counts.sum()
+        expected = set(np.flatnonzero(counts / total >= 0.01).tolist())
+        assert set(np.flatnonzero(partition.shared).tolist()) == expected
+
+    def test_hot_set_is_mostly_si(self, tiny_dataset):
+        """The paper: Q usually contains the most common SI features."""
+        corpus = build_enriched_corpus(tiny_dataset)
+        partition = build_token_partition(
+            corpus, n_workers=2, hot_threshold=0.005, seed=0
+        )
+        hot_ids = np.flatnonzero(partition.shared)
+        assert len(hot_ids) > 0
+        kinds = [corpus.vocab.kind_of(int(v)) for v in hot_ids]
+        si_fraction = sum(k is TokenKind.SI for k in kinds) / len(kinds)
+        assert si_fraction > 0.5
+
+    def test_max_hot_cap(self, tiny_dataset):
+        corpus = build_enriched_corpus(tiny_dataset)
+        partition = build_token_partition(
+            corpus, n_workers=2, hot_threshold=0.0001, max_hot=5, seed=0
+        )
+        assert partition.n_shared == 5
+        # The cap keeps the highest-count tokens.
+        hot = np.flatnonzero(partition.shared)
+        counts = corpus.vocab.counts
+        cold_max = counts[~partition.shared].max()
+        assert counts[hot].min() >= cold_max
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        corpus = build_enriched_corpus(tiny_dataset)
+        a = build_token_partition(corpus, n_workers=4, seed=3)
+        b = build_token_partition(corpus, n_workers=4, seed=3)
+        np.testing.assert_array_equal(a.owner, b.owner)
+
+    def test_validation(self, tiny_dataset):
+        corpus = build_enriched_corpus(tiny_dataset)
+        with pytest.raises(ValueError):
+            build_token_partition(corpus, n_workers=0)

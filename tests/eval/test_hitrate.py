@@ -1,0 +1,115 @@
+"""Unit tests for the HR@K evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Session
+from repro.eval.hitrate import HitRateResult, evaluate_hitrate, hitrate_table
+
+
+class FakeRecommender:
+    """Deterministic recommender: item i -> [i+1, i+2, ...]."""
+
+    def __init__(self, n_items=100, known=None):
+        self.n_items = n_items
+        self.known = set(range(n_items)) if known is None else set(known)
+
+    def __contains__(self, item_id):
+        return int(item_id) in self.known
+
+    def topk_batch(self, item_ids, k):
+        out = np.full((len(item_ids), k), -1, dtype=np.int64)
+        for row, item in enumerate(item_ids):
+            ranked = [(int(item) + 1 + j) % self.n_items for j in range(k)]
+            out[row] = ranked
+        return out
+
+
+def sessions(*seqs):
+    return [Session(0, list(s)) for s in seqs]
+
+
+class TestEvaluate:
+    def test_perfect_hits_at_one(self):
+        test = sessions([5, 6], [10, 11])
+        result = evaluate_hitrate(FakeRecommender(), test, ks=(1,), name="m")
+        assert result.hit_rates[1] == 1.0
+
+    def test_rank_position_determines_k(self):
+        # label = query + 3 -> found at rank 2 (0-based), so hit at K>=3.
+        test = sessions([5, 8])
+        result = evaluate_hitrate(FakeRecommender(), test, ks=(1, 2, 3, 10))
+        assert result.hit_rates[1] == 0.0
+        assert result.hit_rates[2] == 0.0
+        assert result.hit_rates[3] == 1.0
+        assert result.hit_rates[10] == 1.0
+
+    def test_monotone_in_k(self, fitted_sgns, tiny_split):
+        _, test = tiny_split
+        result = evaluate_hitrate(fitted_sgns.index, test, ks=(1, 5, 20, 50))
+        values = [result.hit_rates[k] for k in (1, 5, 20, 50)]
+        assert values == sorted(values)
+
+    def test_unknown_queries_count_as_misses(self):
+        test = sessions([5, 6], [50, 51])
+        rec = FakeRecommender(known={5})
+        result = evaluate_hitrate(rec, test, ks=(1,))
+        assert result.hit_rates[1] == 0.5
+        assert result.n_queries == 2
+        assert result.n_answerable == 1
+
+    def test_uses_second_to_last_as_query(self):
+        # Session [3, 9, 4]: query is 9, label is 4 -> miss for FakeRec.
+        test = sessions([3, 9, 4])
+        result = evaluate_hitrate(FakeRecommender(), test, ks=(1,))
+        assert result.hit_rates[1] == 0.0
+
+    def test_short_session_rejected(self):
+        with pytest.raises(ValueError, match="length >= 2"):
+            evaluate_hitrate(FakeRecommender(), sessions([7]), ks=(1,))
+
+    def test_batching_boundary(self):
+        test = sessions(*[[i, i + 1] for i in range(10)])
+        a = evaluate_hitrate(FakeRecommender(), test, ks=(1,), batch_size=3)
+        b = evaluate_hitrate(FakeRecommender(), test, ks=(1,), batch_size=100)
+        assert a.hit_rates == b.hit_rates
+
+    def test_ks_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_hitrate(FakeRecommender(), sessions([0, 1]), ks=())
+        with pytest.raises(ValueError):
+            evaluate_hitrate(FakeRecommender(), sessions([0, 1]), ks=(0,))
+
+
+class TestGains:
+    def test_gain_over_baseline(self):
+        base = HitRateResult("SGNS", {10: 0.02}, 100, 100)
+        model = HitRateResult("SISG", {10: 0.03}, 100, 100)
+        assert model.gain_over(base)[10] == pytest.approx(0.5)
+
+    def test_gain_with_zero_baseline_is_nan(self):
+        base = HitRateResult("SGNS", {10: 0.0}, 10, 10)
+        model = HitRateResult("SISG", {10: 0.5}, 10, 10)
+        assert np.isnan(model.gain_over(base)[10])
+
+
+class TestTable:
+    def test_table_contains_all_variants_and_gains(self):
+        results = [
+            HitRateResult("SGNS", {1: 0.01, 10: 0.02}, 100, 100),
+            HitRateResult("SISG-F", {1: 0.02, 10: 0.05}, 100, 100),
+        ]
+        table = hitrate_table(results, baseline_name="SGNS")
+        assert "SGNS" in table and "SISG-F" in table
+        assert "+100.00%" in table
+        assert "+150.00%" in table
+        assert "HR@1" in table and "HR@10" in table
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            hitrate_table([])
+
+    def test_missing_baseline_falls_back_to_first(self):
+        results = [HitRateResult("A", {1: 0.5}, 10, 10)]
+        table = hitrate_table(results, baseline_name="ZZZ")
+        assert "A" in table

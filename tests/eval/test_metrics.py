@@ -1,0 +1,120 @@
+"""Unit tests for the extended ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+from repro.eval.metrics import (
+    RankingMetrics,
+    evaluate_ranking_metrics,
+    metrics_table,
+)
+
+
+class FixedRecommender:
+    """Always returns the same ranked list."""
+
+    def __init__(self, ranking):
+        self.ranking = np.asarray(ranking, dtype=np.int64)
+
+    def __contains__(self, item_id):
+        return True
+
+    def topk_batch(self, item_ids, k):
+        out = np.full((len(item_ids), k), -1, dtype=np.int64)
+        take = min(k, len(self.ranking))
+        out[:, :take] = self.ranking[:take]
+        return out
+
+
+def make_dataset(n_items=10):
+    items = [ItemMeta(i, {f: 0 for f in ITEM_SI_FEATURES}) for i in range(n_items)]
+    users = [UserMeta(0, 0, 0, 0)]
+    sessions = [Session(0, [0, 1, 2]), Session(0, [3, 4])]
+    return BehaviorDataset(items, users, sessions)
+
+
+class TestRankSensitive:
+    def test_mrr_rank_positions(self):
+        ds = make_dataset()
+        rec = FixedRecommender([7, 5, 9])
+        # label 5 at rank 2 -> RR = 1/2; label 9 at rank 3 -> RR = 1/3.
+        tests = [Session(0, [0, 5]), Session(0, [0, 9])]
+        metrics = evaluate_ranking_metrics(rec, tests, ds, k=3)
+        assert metrics.mrr == pytest.approx((0.5 + 1 / 3) / 2)
+
+    def test_ndcg_discount(self):
+        ds = make_dataset()
+        rec = FixedRecommender([7, 5])
+        tests = [Session(0, [0, 5])]
+        metrics = evaluate_ranking_metrics(rec, tests, ds, k=3)
+        assert metrics.ndcg == pytest.approx(1.0 / np.log2(3))
+
+    def test_miss_scores_zero(self):
+        ds = make_dataset()
+        rec = FixedRecommender([7])
+        tests = [Session(0, [0, 5])]
+        metrics = evaluate_ranking_metrics(rec, tests, ds, k=3)
+        assert metrics.mrr == 0.0
+        assert metrics.ndcg == 0.0
+
+
+class TestCatalogueHealth:
+    def test_coverage_counts_distinct_recommended(self):
+        ds = make_dataset(n_items=10)
+        rec = FixedRecommender([1, 2, 3])
+        tests = [Session(0, [0, 5]), Session(0, [4, 6])]
+        metrics = evaluate_ranking_metrics(rec, tests, ds, k=3)
+        assert metrics.coverage == pytest.approx(0.3)
+
+    def test_popularity_bias_detects_head(self):
+        ds = make_dataset(n_items=10)
+        # Items 0..4 appear in training; 0 appears most.
+        head = FixedRecommender([0, 1])
+        tail = FixedRecommender([8, 9])
+        tests = [Session(0, [0, 5])]
+        bias_head = evaluate_ranking_metrics(head, tests, ds, k=2).popularity_bias
+        bias_tail = evaluate_ranking_metrics(tail, tests, ds, k=2).popularity_bias
+        assert bias_head > 1.0
+        assert bias_tail < 1.0
+
+
+class TestInterface:
+    def test_validation(self):
+        ds = make_dataset()
+        rec = FixedRecommender([1])
+        with pytest.raises(ValueError):
+            evaluate_ranking_metrics(rec, [], ds, k=3)
+        with pytest.raises(ValueError):
+            evaluate_ranking_metrics(rec, [Session(0, [0, 1])], ds, k=0)
+        with pytest.raises(ValueError):
+            evaluate_ranking_metrics(rec, [Session(0, [0])], ds, k=3)
+
+    def test_on_trained_model(self, fitted_sgns, tiny_split, tiny_dataset):
+        train, test = tiny_split
+        metrics = evaluate_ranking_metrics(
+            fitted_sgns.index, test, train, k=20, name="SGNS"
+        )
+        assert 0.0 < metrics.mrr <= 1.0
+        assert 0.0 < metrics.ndcg <= 1.0
+        assert 0.0 < metrics.coverage <= 1.0
+        assert metrics.popularity_bias > 0.0
+
+    def test_table_rendering(self):
+        rows = [
+            RankingMetrics("a", 20, 0.1, 0.2, 0.5, 1.3),
+            RankingMetrics("b", 20, 0.2, 0.3, 0.6, 0.9),
+        ]
+        table = metrics_table(rows)
+        assert "MRR" in table and "PopBias" in table
+        assert "a" in table and "b" in table
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            metrics_table([])

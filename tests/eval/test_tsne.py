@@ -1,0 +1,81 @@
+"""Unit tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.tsne import cluster_separation, tsne
+
+
+def two_blobs(n_per=30, gap=8.0, dim=10, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n_per, dim))
+    b = rng.normal(size=(n_per, dim))
+    b[:, 0] += gap
+    x = np.vstack([a, b])
+    labels = np.array([0] * n_per + [1] * n_per)
+    return x, labels
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            tsne(np.zeros((3, 5)))
+
+    def test_perplexity_vs_points(self):
+        with pytest.raises(ValueError, match="perplexity"):
+            tsne(np.zeros((10, 5)), perplexity=10)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros(10))
+
+
+class TestEmbedding:
+    def test_output_shape(self):
+        x, _ = two_blobs(n_per=15)
+        y = tsne(x, n_components=2, perplexity=5, n_iter=120, seed=0)
+        assert y.shape == (30, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_output_centered(self):
+        x, _ = two_blobs(n_per=15)
+        y = tsne(x, perplexity=5, n_iter=120, seed=0)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_reproducible(self):
+        x, _ = two_blobs(n_per=10)
+        a = tsne(x, perplexity=5, n_iter=60, seed=4)
+        b = tsne(x, perplexity=5, n_iter=60, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_separates_well_separated_blobs(self):
+        """Fig. 5's premise: clusters in input space stay clusters."""
+        x, labels = two_blobs(n_per=25, gap=10.0)
+        y = tsne(x, perplexity=10, n_iter=300, seed=1)
+        assert cluster_separation(y, labels) > 1.5
+
+    def test_three_components(self):
+        x, _ = two_blobs(n_per=10)
+        y = tsne(x, n_components=3, perplexity=5, n_iter=60, seed=0)
+        assert y.shape == (20, 3)
+
+
+class TestClusterSeparation:
+    def test_perfectly_separated(self):
+        emb = np.array([[0.0, 0], [0.1, 0], [10, 0], [10.1, 0]])
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_separation(emb, labels) > 10
+
+    def test_mixed_labels_near_one(self):
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, size=40)
+        assert 0.7 < cluster_separation(emb, labels) < 1.3
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((4, 2)), np.zeros(4))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((4, 2)), np.zeros(3))

@@ -1,0 +1,137 @@
+"""Unit tests for HBGP and the random-partition strawman."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+from repro.graph.hbgp import (
+    HBGPConfig,
+    hbgp_partition,
+    random_partition,
+)
+
+
+def make_dataset(session_items, item_leaf):
+    """Items with explicit leaf assignment."""
+    items = []
+    for item_id, leaf in enumerate(item_leaf):
+        si = {f: 0 for f in ITEM_SI_FEATURES}
+        si["leaf_category"] = leaf
+        items.append(ItemMeta(item_id, si))
+    users = [UserMeta(0, 0, 0, 0)]
+    sessions = [Session(0, list(s)) for s in session_items]
+    return BehaviorDataset(items, users, sessions)
+
+
+def clustered_dataset():
+    """Four leaves; heavy traffic within {0,1} and within {2,3}."""
+    # Leaves: items 0,1 -> leaf 0; 2,3 -> leaf 1; 4,5 -> leaf 2; 6,7 -> leaf 3.
+    item_leaf = [0, 0, 1, 1, 2, 2, 3, 3]
+    sessions = []
+    sessions += [[0, 2], [2, 0], [1, 3]] * 10  # leaf 0 <-> leaf 1
+    sessions += [[4, 6], [6, 4], [5, 7]] * 10  # leaf 2 <-> leaf 3
+    sessions += [[0, 4]]  # one weak edge across the halves
+    sessions += [[0, 1], [2, 3], [4, 5], [6, 7]] * 5  # in-leaf traffic
+    return make_dataset(sessions, item_leaf)
+
+
+class TestHBGPConfig:
+    def test_defaults_valid(self):
+        HBGPConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n_partitions", 0), ("beta", 0.9), ("beta_growth", 1.0)],
+    )
+    def test_invalid_rejected(self, field, value):
+        cfg = HBGPConfig()
+        setattr(cfg, field, value)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+
+class TestHBGP:
+    def test_groups_connected_leaves_together(self):
+        ds = clustered_dataset()
+        result = hbgp_partition(ds, HBGPConfig(n_partitions=2))
+        lp = result.leaf_partition
+        assert lp[0] == lp[1]  # leaves 0,1 together
+        assert lp[2] == lp[3]  # leaves 2,3 together
+        assert lp[0] != lp[2]
+        # Only the single weak cross edge is cut.
+        assert result.cut_weight == 1.0
+
+    def test_exact_partition_count(self):
+        ds = clustered_dataset()
+        for w in (1, 2, 3, 4):
+            result = hbgp_partition(ds, HBGPConfig(n_partitions=w))
+            assert result.n_partitions == w
+            assert len(set(result.leaf_partition.tolist())) == w
+
+    def test_too_many_partitions_rejected(self):
+        ds = clustered_dataset()
+        with pytest.raises(ValueError, match="cannot exceed"):
+            hbgp_partition(ds, HBGPConfig(n_partitions=10))
+
+    def test_single_partition_has_zero_cut(self):
+        ds = clustered_dataset()
+        result = hbgp_partition(ds, HBGPConfig(n_partitions=1))
+        assert result.cut_fraction == 0.0
+        assert result.imbalance == 1.0
+
+    def test_item_partition_follows_leaf_partition(self):
+        ds = clustered_dataset()
+        result = hbgp_partition(ds, HBGPConfig(n_partitions=2))
+        for item in ds.items:
+            assert (
+                result.item_partition[item.item_id]
+                == result.leaf_partition[item.leaf_category]
+            )
+
+    def test_balance_on_world(self, tiny_dataset):
+        result = hbgp_partition(tiny_dataset, HBGPConfig(n_partitions=4))
+        assert result.imbalance < 2.0
+        assert 0.0 <= result.cut_fraction <= 1.0
+
+    def test_beats_random_item_partition_on_world(self, tiny_dataset):
+        """HBGP's whole point: far fewer cross-partition transitions."""
+        hbgp = hbgp_partition(tiny_dataset, HBGPConfig(n_partitions=4))
+        rand = random_partition(tiny_dataset, 4, seed=0)
+        assert hbgp.cut_fraction < rand.cut_fraction * 0.5
+
+    def test_disconnected_leaves_still_partition(self):
+        # Two leaves with no cross traffic at all, three partitions needed.
+        ds = make_dataset([[0, 1]] * 3 + [[2, 3]] * 3 + [[4, 5]] * 3,
+                          [0, 0, 1, 1, 2, 2])
+        result = hbgp_partition(ds, HBGPConfig(n_partitions=2))
+        assert result.n_partitions == 2
+
+
+class TestRandomPartition:
+    def test_item_level_cut_near_expected(self, tiny_dataset):
+        """Random item assignment cuts roughly (1 - 1/w) of transitions."""
+        result = random_partition(tiny_dataset, 4, seed=1)
+        assert 0.55 <= result.cut_fraction <= 0.9
+
+    def test_by_leaf_keeps_in_leaf_transitions(self, tiny_dataset):
+        leaf_level = random_partition(tiny_dataset, 4, seed=1, by_leaf=True)
+        item_level = random_partition(tiny_dataset, 4, seed=1)
+        assert leaf_level.cut_fraction < item_level.cut_fraction
+
+    def test_balanced_loads(self, tiny_dataset):
+        result = random_partition(tiny_dataset, 4, seed=0)
+        assert result.imbalance < 1.5
+
+    def test_partition_ids_in_range(self, tiny_dataset):
+        result = random_partition(tiny_dataset, 3, seed=0)
+        assert set(np.unique(result.item_partition)) <= {0, 1, 2}
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            random_partition(tiny_dataset, 0)

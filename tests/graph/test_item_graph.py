@@ -1,0 +1,103 @@
+"""Unit tests for the item transition graph."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+from repro.graph.item_graph import ItemGraph, build_item_graph
+
+
+def make_dataset(session_items, n_items=6):
+    items = [ItemMeta(i, {f: 0 for f in ITEM_SI_FEATURES}) for i in range(n_items)]
+    users = [UserMeta(0, 0, 0, 0)]
+    sessions = [Session(0, list(s)) for s in session_items]
+    return BehaviorDataset(items, users, sessions)
+
+
+class TestBuild:
+    def test_adjacent_transitions_counted(self):
+        ds = make_dataset([[0, 1, 2], [0, 1]])
+        graph = build_item_graph(ds)
+        assert graph.edge_weight(0, 1) == 2.0
+        assert graph.edge_weight(1, 2) == 1.0
+        assert graph.edge_weight(2, 1) == 0.0
+
+    def test_self_transitions_dropped(self):
+        ds = make_dataset([[0, 0, 1]])
+        graph = build_item_graph(ds)
+        assert graph.edge_weight(0, 0) == 0.0
+        assert graph.edge_weight(0, 1) == 1.0
+
+    def test_node_frequency_counts_occurrences(self):
+        ds = make_dataset([[0, 1, 0], [1, 2]])
+        graph = build_item_graph(ds)
+        np.testing.assert_array_equal(
+            graph.node_frequency[:3], [2.0, 2.0, 1.0]
+        )
+
+    def test_empty_sessions_ok(self):
+        ds = make_dataset([])
+        graph = build_item_graph(ds)
+        assert graph.n_edges == 0
+        assert graph.total_transition_weight() == 0.0
+
+    def test_out_neighbors(self):
+        ds = make_dataset([[0, 1], [0, 2], [0, 1]])
+        graph = build_item_graph(ds)
+        neighbors, weights = graph.out_neighbors(0)
+        assert set(neighbors.tolist()) == {1, 2}
+        assert weights.sum() == 3.0
+
+    def test_total_transition_weight(self):
+        ds = make_dataset([[0, 1, 2, 3]])
+        graph = build_item_graph(ds)
+        assert graph.total_transition_weight() == 3.0
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            ItemGraph(sparse.csr_matrix((2, 3)), np.zeros(2))
+
+    def test_frequency_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            ItemGraph(sparse.csr_matrix((3, 3)), np.zeros(2))
+
+
+class TestAsymmetry:
+    def test_fully_directed_graph(self):
+        ds = make_dataset([[0, 1], [0, 1], [1, 2], [1, 2]])
+        graph = build_item_graph(ds)
+        assert graph.asymmetry_fraction(min_total=2) == 1.0
+
+    def test_fully_symmetric_graph(self):
+        ds = make_dataset([[0, 1], [1, 0], [0, 1], [1, 0]])
+        graph = build_item_graph(ds)
+        assert graph.asymmetry_fraction(min_total=2, ratio=2.0) == 0.0
+
+    def test_min_total_filters_thin_pairs(self):
+        ds = make_dataset([[0, 1]])
+        graph = build_item_graph(ds)
+        assert graph.asymmetry_fraction(min_total=5) == 0.0
+
+    def test_world_graph_is_heavily_asymmetric(self, tiny_dataset):
+        """The synthetic world's forward bias shows up in the graph."""
+        graph = build_item_graph(tiny_dataset)
+        assert graph.asymmetry_fraction() > 0.5
+
+
+class TestNetworkxExport:
+    def test_export_preserves_edges(self):
+        ds = make_dataset([[0, 1, 2]])
+        graph = build_item_graph(ds)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 6
+        assert nx_graph[0][1]["weight"] == 1.0
+        assert not nx_graph.has_edge(1, 0)

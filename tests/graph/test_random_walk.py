@@ -1,0 +1,71 @@
+"""Unit tests for the weighted random walker."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    ITEM_SI_FEATURES,
+    BehaviorDataset,
+    ItemMeta,
+    Session,
+    UserMeta,
+)
+from repro.graph.item_graph import build_item_graph
+from repro.graph.random_walk import RandomWalker
+
+
+def graph_from(session_items, n_items=5):
+    items = [ItemMeta(i, {f: 0 for f in ITEM_SI_FEATURES}) for i in range(n_items)]
+    users = [UserMeta(0, 0, 0, 0)]
+    sessions = [Session(0, list(s)) for s in session_items]
+    return build_item_graph(BehaviorDataset(items, users, sessions))
+
+
+class TestWalks:
+    def test_walk_follows_edges(self):
+        graph = graph_from([[0, 1, 2], [1, 2, 3]])
+        walker = RandomWalker(graph, walk_length=4, walks_per_node=1)
+        walk = walker.walk_from(0, rng=0)
+        for a, b in zip(walk[:-1], walk[1:]):
+            assert graph.edge_weight(int(a), int(b)) > 0
+
+    def test_walk_stops_at_sink(self):
+        graph = graph_from([[0, 1]])
+        walker = RandomWalker(graph, walk_length=10, walks_per_node=1)
+        walk = walker.walk_from(0, rng=0)
+        assert walk.tolist() == [0, 1]
+
+    def test_walk_length_respected(self):
+        graph = graph_from([[0, 1], [1, 0]])
+        walker = RandomWalker(graph, walk_length=7, walks_per_node=1)
+        assert len(walker.walk_from(0, rng=0)) == 7
+
+    def test_generate_walks_count(self):
+        graph = graph_from([[0, 1, 2], [2, 0]])
+        walker = RandomWalker(graph, walk_length=3, walks_per_node=4)
+        walks = walker.generate_walks(seed=0)
+        # Nodes with outgoing edges: 0, 1, 2 -> 3 * 4 walks.
+        assert len(walks) == 12
+
+    def test_walks_reproducible(self):
+        graph = graph_from([[0, 1, 2, 3], [3, 4], [1, 3]])
+        walker = RandomWalker(graph, walk_length=5, walks_per_node=2)
+        a = [w.tolist() for w in walker.generate_walks(seed=3)]
+        b = [w.tolist() for w in walker.generate_walks(seed=3)]
+        assert a == b
+
+    def test_heavier_edges_walked_more(self):
+        # 0 -> 1 nine times, 0 -> 2 once.
+        sessions = [[0, 1]] * 9 + [[0, 2]]
+        graph = graph_from(sessions)
+        walker = RandomWalker(graph, walk_length=2, walks_per_node=1)
+        rng = np.random.default_rng(0)
+        hits = sum(walker.walk_from(0, rng)[1] == 1 for _ in range(500))
+        assert hits > 400
+
+    def test_validation(self):
+        graph = graph_from([[0, 1]])
+        with pytest.raises(ValueError):
+            RandomWalker(graph, walk_length=0)
+        with pytest.raises(ValueError):
+            RandomWalker(graph, walks_per_node=0)

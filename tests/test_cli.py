@@ -1,0 +1,100 @@
+"""End-to-end tests for the ``sisg`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_variant_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "a", "b", "--variant", "XX"])
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ds.npz"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--items", "200",
+            "--users", "60",
+            "--leaves", "8",
+            "--tops", "3",
+            "--sessions", "400",
+            "--seed", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestWorkflow:
+    def test_generate_creates_file(self, dataset_path):
+        assert dataset_path.exists()
+
+    def test_stats(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "#Items" in out
+        assert "#Training pairs" in out
+
+    def test_partition(self, dataset_path, capsys):
+        assert main(["partition", str(dataset_path), "--workers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hbgp" in out and "random" in out
+
+    def test_train_evaluate_recommend(self, dataset_path, tmp_path, capsys):
+        model_path = tmp_path / "model"
+        code = main(
+            [
+                "train",
+                str(dataset_path),
+                str(model_path),
+                "--variant", "SISG-F",
+                "--dim", "8",
+                "--epochs", "1",
+                "--window", "2",
+                "--negatives", "3",
+            ]
+        )
+        assert code == 0
+        assert model_path.with_suffix(".npz").exists()
+
+        code = main(
+            ["evaluate", str(dataset_path), str(model_path), "--ks", "1", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HR@1" in out and "HR@10" in out
+
+        code = main(["recommend", str(model_path), "0", "-k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("item_") == 5
+
+    def test_train_distributed_engine(self, dataset_path, tmp_path):
+        model_path = tmp_path / "dist_model"
+        code = main(
+            [
+                "train",
+                str(dataset_path),
+                str(model_path),
+                "--variant", "SGNS",
+                "--dim", "8",
+                "--epochs", "1",
+                "--engine", "distributed",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert model_path.with_suffix(".npz").exists()

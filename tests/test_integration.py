@@ -1,0 +1,118 @@
+"""Cross-module integration tests: full train->evaluate->serve flows."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.itemcf import ItemCF
+from repro.core.sisg import SISG
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.eval.ctr import CTRConfig, CTRSimulator
+from repro.eval.hitrate import evaluate_hitrate
+
+
+class RandomRecommender:
+    """Noise floor for retrieval quality checks."""
+
+    def __init__(self, n_items, seed=0):
+        self.n_items = n_items
+        self.rng = np.random.default_rng(seed)
+
+    def __contains__(self, item_id):
+        return True
+
+    def topk(self, item_id, k):
+        items = self.rng.choice(self.n_items, size=k, replace=False)
+        return items, np.zeros(k)
+
+    def topk_batch(self, item_ids, k):
+        return self.rng.integers(
+            0, self.n_items, size=(len(item_ids), k)
+        ).astype(np.int64)
+
+
+class TestOfflineFlow:
+    def test_trained_models_beat_random(self, tiny_split, tiny_dataset):
+        """Every real method must clear the random noise floor by a lot."""
+        train, test = tiny_split
+        random_hr = evaluate_hitrate(
+            RandomRecommender(tiny_dataset.n_items), test, ks=(20,)
+        ).hit_rates[20]
+
+        sisg = SISG.sisg_f(dim=16, epochs=2, window=2, negatives=5, seed=0).fit(
+            train
+        )
+        sisg_hr = evaluate_hitrate(sisg.index, test, ks=(20,)).hit_rates[20]
+
+        cf = ItemCF().fit(train)
+        cf_hr = evaluate_hitrate(cf, test, ks=(20,)).hit_rates[20]
+
+        assert sisg_hr > 5 * max(random_hr, 1e-4)
+        assert cf_hr > 5 * max(random_hr, 1e-4)
+
+    def test_si_enrichment_helps_on_sparse_world(self):
+        """The paper's core claim at test scale: SI lifts HR over SGNS."""
+        config = SyntheticWorldConfig(
+            n_items=800,
+            n_users=200,
+            n_top_categories=4,
+            n_leaf_categories=10,
+            item_zipf=1.2,
+        )
+        world = SyntheticWorld(config, seed=13)
+        dataset = world.generate_dataset(n_sessions=1200)  # sparse
+        train, test = dataset.split_last_item()
+        params = dict(dim=16, epochs=3, window=2, negatives=5, seed=2)
+        sgns_hr = evaluate_hitrate(
+            SISG.sgns(**params).fit(train).index, test, ks=(20,)
+        ).hit_rates[20]
+        sisg_hr = evaluate_hitrate(
+            SISG.sisg_f(**params).fit(train).index, test, ks=(20,)
+        ).hit_rates[20]
+        assert sisg_hr > sgns_hr
+
+
+class TestServingFlow:
+    def test_sisg_index_plugs_into_ctr_simulator(self, tiny_world, tiny_split):
+        train, _ = tiny_split
+        model = SISG.sisg_f_u(
+            dim=12, epochs=1, window=2, negatives=4, seed=3
+        ).fit(train)
+        simulator = CTRSimulator(
+            tiny_world,
+            train.users,
+            CTRConfig(n_days=2, impressions_per_day=150, seed=4),
+        )
+        result = simulator.run(
+            {
+                "sisg": model.index,
+                "random": RandomRecommender(train.n_items),
+            }
+        )
+        assert result.mean_ctr("sisg") > result.mean_ctr("random")
+
+
+class TestColdStartFlow:
+    def test_cold_item_slate_is_leaf_consistent(self, fitted_sisg, tiny_dataset):
+        hits = []
+        for probe in range(0, 60, 7):
+            si = dict(tiny_dataset.items[probe].si_values)
+            items, _ = fitted_sisg.recommend_cold_item(si, k=10)
+            leaf = tiny_dataset.leaf_of(probe)
+            hits.append(
+                np.mean([tiny_dataset.leaf_of(int(i)) == leaf for i in items])
+            )
+        assert np.mean(hits) > 0.3  # random would be ~1/8
+
+
+class TestDistributedFlow:
+    def test_distributed_sisg_end_to_end(self, tiny_split):
+        train, test = tiny_split
+        model = SISG.sisg_f_u(
+            dim=12, epochs=1, window=2, negatives=4, seed=3,
+            engine="distributed", n_workers=3,
+        ).fit(train)
+        hr = evaluate_hitrate(model.index, test, ks=(20,)).hit_rates[20]
+        random_hr = evaluate_hitrate(
+            RandomRecommender(train.n_items), test, ks=(20,)
+        ).hit_rates[20]
+        assert hr > 5 * max(random_hr, 1e-4)

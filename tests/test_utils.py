@@ -1,0 +1,124 @@
+"""Unit tests for the shared utilities."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    ensure_rng,
+    get_logger,
+    require,
+    require_in_range,
+    require_positive,
+    require_type,
+    spawn_rngs,
+)
+from repro.utils.logger import configure_basic_logging
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_and_deterministic(self):
+        a = [g.random() for g in spawn_rngs(7, 3)]
+        b = [g.random() for g in spawn_rngs(7, 3)]
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_live_elapsed(self):
+        t = Timer()
+        t.start()
+        assert t.elapsed >= 0.0
+        t.stop()
+
+
+class TestLogger:
+    def test_namespacing(self):
+        assert get_logger("core.sgns").name == "repro.core.sgns"
+        assert get_logger("repro.core.sgns").name == "repro.core.sgns"
+        assert get_logger("repro").name == "repro"
+
+    def test_configure_basic_logging_idempotent(self):
+        configure_basic_logging(logging.INFO)
+        configure_basic_logging(logging.DEBUG)
+        logger = logging.getLogger("repro")
+        real = [
+            h for h in logger.handlers
+            if not isinstance(h, logging.NullHandler)
+        ]
+        assert len(real) == 1
+        # Restore quiet default for the rest of the suite.
+        for handler in real:
+            logger.removeHandler(handler)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        require_positive(0, "x", strict=False)
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1, "x", strict=False)
+
+    def test_require_in_range(self):
+        require_in_range(0.5, "x", 0, 1)
+        require_in_range(0.0, "x", 0, 1)
+        with pytest.raises(ValueError):
+            require_in_range(0.0, "x", 0, 1, inclusive=False)
+        with pytest.raises(ValueError):
+            require_in_range(2.0, "x", 0, 1)
+
+    def test_require_type(self):
+        require_type(3, "x", int)
+        require_type("s", "x", int, str)
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("s", "x", int)
