@@ -16,7 +16,6 @@ import numpy as np
 import pytest
 
 from repro.core.sisg import SISG
-from repro.core.similarity import SimilarityIndex
 from repro.eval.hitrate import evaluate_hitrate
 from repro.graph.item_graph import build_item_graph
 

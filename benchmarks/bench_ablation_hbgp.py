@@ -13,7 +13,6 @@ is at least as good as leaf-random, stays balanced, and the advantage
 carries through to the engine's communication accounting.
 """
 
-import pytest
 
 from repro.core.enrichment import build_enriched_corpus
 from repro.core.sgns import SGNSConfig

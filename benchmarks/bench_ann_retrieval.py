@@ -6,7 +6,6 @@ times approximate vs exact retrieval; asserts recall grows monotonically
 with probes and reaches 1.0 when scanning every cell.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.ann import IVFIndex

@@ -1,0 +1,141 @@
+"""Extension bench — online matching service under load.
+
+Not a paper figure: quantifies the serving subsystem this repo adds on
+top of the offline pipeline.  Trains a model on the synthetic world,
+stands up the :class:`MatchingService` (nightly table covering 80% of
+items so the live-ANN tier sees traffic), replays a Zipf-skewed request
+mix, performs a hot swap halfway through, and emits a JSON report with
+QPS, cache hit rate and p50/p95/p99 latency per fallback tier.
+
+Asserts the deployment contract: a mid-load hot swap causes **zero**
+failed requests, both generations get served, and every tier answered.
+
+Runs under pytest (``pytest benchmarks/bench_serving_latency.py``) or
+standalone (``python benchmarks/bench_serving_latency.py``).
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.sisg import SISG
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.serving import (
+    LoadMix,
+    MatchingService,
+    MatchingServiceConfig,
+    ModelStore,
+    build_bundle,
+    run_load,
+    synth_requests,
+)
+
+WORLD = SyntheticWorldConfig(
+    n_items=800,
+    n_users=300,
+    n_leaf_categories=16,
+    n_top_categories=4,
+)
+N_REQUESTS = 3000
+BATCH_SIZE = 16
+K = 10
+
+
+def build_setup(seed: int = 0):
+    """Train a model and stand up the service (shared by pytest + main)."""
+    world = SyntheticWorld(WORLD, seed=seed)
+    dataset = world.generate_dataset(n_sessions=2500)
+    model = SISG.sisg_f_u(
+        dim=24, epochs=2, window=2, negatives=5, seed=seed
+    ).fit(dataset).model
+    bundle = build_bundle(
+        model, dataset, n_cells=28, table_coverage=0.8, seed=seed
+    )
+    store = ModelStore(bundle)
+    service = MatchingService(
+        store, MatchingServiceConfig(default_k=K, cache_size=4096, cache_ttl=None)
+    )
+    return dataset, model, store, service
+
+
+def run(seed: int = 0) -> dict:
+    """End-to-end load run with a mid-load hot swap; returns the report."""
+    dataset, model, store, service = build_setup(seed)
+    requests = synth_requests(
+        dataset, N_REQUESTS, mix=LoadMix(0.7, 0.1, 0.1, 0.1), seed=seed
+    )
+    report = run_load(
+        service,
+        requests,
+        k=K,
+        batch_size=BATCH_SIZE,
+        swap=lambda: store.swap(
+            build_bundle(
+                model, dataset, n_cells=28, table_coverage=0.8, seed=seed + 1
+            )
+        ),
+        swap_after=0.5,
+    )
+    return report
+
+
+def check_report(report: dict) -> None:
+    """The deployment contract asserted by pytest and main() alike."""
+    assert report["failures"] == 0, "hot swap must not fail any request"
+    assert report["swap_performed"]
+    assert len(report["versions_served"]) >= 2, "both generations must serve"
+    for tier in ("table", "ann", "cold_item", "cold_user", "popularity"):
+        assert tier in report["tiers"], f"tier {tier} never served a request"
+        stats = report["tiers"][tier]
+        assert stats["p50"] <= stats["p95"] <= stats["p99"]
+    assert report["cache_hit_rate"] > 0.2, "Zipf traffic should hit the cache"
+    assert report["qps"] > 0
+
+
+def test_serving_latency_report(benchmark):
+    report = run(seed=0)
+    check_report(report)
+
+    # Time the steady-state hot path: a warm cached recommend.
+    dataset, _model, _store, service = build_setup(seed=0)
+    warm = int(service.store.current().table._items[0])
+    service.recommend(warm, K)
+    benchmark(service.recommend, warm, K)
+
+    print("\nExtension — serving load report (JSON)")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    tiers = report["tiers"]
+    print(f"\nQPS {report['qps']:.0f}, cache hit rate "
+          f"{report['cache_hit_rate']:.2f}, failures {report['failures']}")
+    for tier, stats in sorted(tiers.items()):
+        print(
+            f"{tier:>10s}: n={int(stats['count']):5d}"
+            f"  p50={stats['p50'] * 1e6:7.0f}us"
+            f"  p95={stats['p95'] * 1e6:7.0f}us"
+            f"  p99={stats['p99'] * 1e6:7.0f}us"
+        )
+
+
+def test_batched_ann_matches_single(benchmark):
+    """Micro-batched ANN retrieval returns the single-query results."""
+    _dataset, _model, store, service = build_setup(seed=1)
+    ann = store.current().ann
+    queries = store.current().index.item_ids[:64]
+
+    batch_ids, _scores = ann.topk_batch(queries, K)
+    for row, item in enumerate(queries):
+        single_ids, _ = ann.topk(int(item), K)
+        valid = batch_ids[row] >= 0
+        np.testing.assert_array_equal(batch_ids[row][valid], single_ids)
+
+    benchmark(ann.topk_batch, queries, K)
+
+
+def main() -> None:
+    report = run(seed=0)
+    check_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,11 @@ Commands mirror the production workflow:
   engine) and save the embedding model;
 - ``sisg evaluate`` — HR@K next-item evaluation of a saved model;
 - ``sisg recommend`` — top-K lookup for one item from a saved model;
-- ``sisg partition`` — run HBGP and report cut fraction / imbalance.
+- ``sisg partition`` — run HBGP and report cut fraction / imbalance;
+- ``sisg serve-demo`` — stand up the online matching service and walk
+  every fallback tier, including a hot swap;
+- ``sisg loadgen`` — replay synthetic traffic against the service and
+  report QPS / cache hit rate / per-tier tail latency as JSON.
 
 Datasets are stored as ``.npz`` bundles via :mod:`repro.data.io_utils`.
 """
@@ -82,6 +86,47 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--beta", type=float, default=1.2)
 
 
+def _add_serve_demo(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-demo", help="walk the matching service's fallback chain"
+    )
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("model", help="model path prefix (from `sisg train`)")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument(
+        "--table-coverage",
+        type=float,
+        default=0.8,
+        help="fraction of items in the nightly table (rest hit live ANN)",
+    )
+    p.add_argument("--cells", type=int, default=None, help="IVF cells")
+
+
+def _add_loadgen(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "loadgen", help="synthetic load against the matching service"
+    )
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("model", help="model path prefix (from `sisg train`)")
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--batch-size", type=int, default=16)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument(
+        "--mix",
+        default="0.7,0.1,0.1,0.1",
+        help="warm,cold_item,cold_user,unknown fractions (sum to 1)",
+    )
+    p.add_argument("--table-coverage", type=float, default=0.8)
+    p.add_argument("--cells", type=int, default=None, help="IVF cells")
+    p.add_argument(
+        "--swap-mid",
+        action="store_true",
+        help="hot-swap a rebuilt bundle halfway through the run",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="also write the JSON report here")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``sisg`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -96,6 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(sub)
     _add_recommend(sub)
     _add_partition(sub)
+    _add_serve_demo(sub)
+    _add_loadgen(sub)
     return parser
 
 
@@ -110,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "recommend": _cmd_recommend,
         "partition": _cmd_partition,
+        "serve-demo": _cmd_serve_demo,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 
@@ -216,6 +265,109 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     print(f"{'strategy':10s} {'cut_fraction':>12s} {'imbalance':>10s}")
     print(f"{'hbgp':10s} {hbgp.cut_fraction:12.4f} {hbgp.imbalance:10.4f}")
     print(f"{'random':10s} {rand.cut_fraction:12.4f} {rand.imbalance:10.4f}")
+    return 0
+
+
+def _build_service(args: argparse.Namespace):
+    """Shared setup for ``serve-demo``/``loadgen``: dataset -> live service."""
+    from repro.core.model import EmbeddingModel
+    from repro.data.io_utils import load_dataset
+    from repro.serving import MatchingService, ModelStore, build_bundle
+
+    dataset = load_dataset(args.dataset)
+    model = EmbeddingModel.load(args.model)
+    bundle = build_bundle(
+        model,
+        dataset,
+        n_cells=args.cells,
+        table_coverage=args.table_coverage,
+        seed=0,
+    )
+    store = ModelStore(bundle)
+    return dataset, model, store, MatchingService(store)
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import MatchRequest, build_bundle
+
+    dataset, model, store, service = _build_service(args)
+    bundle = store.current()
+    covered = bundle.table._items
+    uncovered = [
+        int(i) for i in bundle.index.item_ids if int(i) not in bundle.table
+    ]
+
+    def show(label: str, request) -> None:
+        result = service.recommend(request, args.k)
+        print(
+            f"{label:28s} tier={result.tier:<10s} v{result.version}"
+            f" {result.latency * 1e6:7.0f}us ->"
+            f" {result.items[:5].tolist()}"
+        )
+
+    print("— fallback chain —")
+    show("warm item (in table)", int(covered[0]))
+    if uncovered:
+        show("warm item (table miss)", uncovered[0])
+    show(
+        "cold item (SI only)",
+        MatchRequest(si_values=dict(dataset.items[0].si_values)),
+    )
+    show("cold user (demographics)", MatchRequest(gender="F", age_bucket="25-30"))
+    show("unknown item", MatchRequest(item_id=10**9))
+
+    print("— hot swap —")
+    store.swap(
+        build_bundle(
+            model,
+            dataset,
+            n_cells=args.cells,
+            table_coverage=args.table_coverage,
+            seed=1,
+        )
+    )
+    show("warm item after swap", int(covered[0]))
+    print("— metrics —")
+    print(json.dumps(service.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serving import LoadMix, build_bundle, run_load, synth_requests
+
+    fractions = [float(part) for part in args.mix.split(",")]
+    if len(fractions) != 4:
+        print("--mix needs exactly 4 comma-separated fractions", file=sys.stderr)
+        return 2
+    mix = LoadMix(*fractions)
+    dataset, model, store, service = _build_service(args)
+    requests = synth_requests(dataset, args.requests, mix=mix, seed=args.seed)
+
+    swap = None
+    if args.swap_mid:
+        def swap() -> None:
+            store.swap(
+                build_bundle(
+                    model,
+                    dataset,
+                    n_cells=args.cells,
+                    table_coverage=args.table_coverage,
+                    seed=args.seed + 1,
+                )
+            )
+
+    report = run_load(
+        service, requests, k=args.k, batch_size=args.batch_size, swap=swap
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
     return 0
 
 

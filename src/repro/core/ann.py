@@ -159,6 +159,82 @@ class IVFIndex:
             vector = vector / norm
         return self._search(vector, k, n_probe, exclude_item=None)
 
+    def topk_batch(
+        self, item_ids: np.ndarray, k: int, n_probe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k`` for many query items in one pass.
+
+        The batched entry point the serving layer's micro-batcher uses:
+        probe cells are unioned across the batch, their member vectors
+        gathered once, and all query scores computed in a single matrix
+        product instead of one gather+GEMV per query.
+
+        Returns ``(ids, scores)`` of shape ``(len(item_ids), k)``; rows
+        with fewer than ``k`` reachable candidates are padded with
+        ``-1`` / ``NaN``.  Each query item is excluded from its own
+        results, matching :meth:`topk`.
+        """
+        require_positive(k, "k")
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if len(item_ids) == 0:
+            return (
+                np.empty((0, k), dtype=np.int64),
+                np.empty((0, k)),
+            )
+        queries = np.stack(
+            [self._exact.query_vector(int(i)) for i in item_ids]
+        )
+        return self._search_batch(queries, k, n_probe, exclude_items=item_ids)
+
+    def _search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        n_probe: int | None,
+        exclude_items: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        probes = self.n_probe if n_probe is None else min(n_probe, self.n_cells)
+        n_queries = len(queries)
+        cell_scores = queries @ self._centroids.T
+        if probes < self.n_cells:
+            probe_cells = np.argpartition(-cell_scores, probes - 1, axis=1)[
+                :, :probes
+            ]
+        else:
+            probe_cells = np.tile(np.arange(self.n_cells), (n_queries, 1))
+        probed = np.zeros((n_queries, self.n_cells), dtype=bool)
+        probed[np.arange(n_queries)[:, None], probe_cells] = True
+
+        union = np.flatnonzero(probed.any(axis=0))
+        cells = [self._cells[int(c)] for c in union]
+        ids_out = np.full((n_queries, k), -1, dtype=np.int64)
+        scores_out = np.full((n_queries, k), np.nan)
+        if not any(len(cell) for cell in cells):
+            return ids_out, scores_out
+        rows = np.concatenate(cells)
+        cell_of_row = np.concatenate(
+            [np.full(len(cell), c, dtype=np.int64) for c, cell in zip(union, cells)]
+        )
+
+        scores = queries @ self._candidates[rows].T
+        scores[~probed[:, cell_of_row]] = -np.inf
+        if exclude_items is not None:
+            scores[self._item_ids[rows][None, :] == exclude_items[:, None]] = -np.inf
+
+        kk = min(k, len(rows))
+        top = np.argpartition(-scores, kk - 1, axis=1)[:, :kk]
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(-top_scores, axis=1, kind="stable")
+        top = np.take_along_axis(top, order, axis=1)
+        top_scores = np.take_along_axis(top_scores, order, axis=1)
+
+        ids_out[:, :kk] = self._item_ids[rows[top]]
+        scores_out[:, :kk] = top_scores
+        invalid = ~np.isfinite(scores_out)
+        ids_out[invalid] = -1
+        scores_out[invalid] = np.nan
+        return ids_out, scores_out
+
     def _search(
         self,
         query: np.ndarray,

@@ -11,14 +11,29 @@
 
 from __future__ import annotations
 
+from typing import Protocol
+
 import numpy as np
 
 from repro.core.enrichment import si_token
 from repro.core.model import EmbeddingModel
-from repro.core.similarity import SimilarityIndex
 from repro.core.vocab import TokenKind
 from repro.data.schema import AGE_BUCKETS, GENDERS, PURCHASE_POWERS
 from repro.utils import require
+
+
+class VectorIndex(Protocol):
+    """Any retrieval index answering vector queries.
+
+    Both the exact :class:`~repro.core.similarity.SimilarityIndex` and
+    the approximate :class:`~repro.core.ann.IVFIndex` satisfy this, so
+    cold-start retrieval works against whichever index the caller
+    serves from (the online service uses the ANN index).
+    """
+
+    def topk_by_vector(
+        self, vector: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]: ...
 
 
 def infer_cold_item_vector(
@@ -46,7 +61,7 @@ def infer_cold_item_vector(
 
 def recommend_for_cold_item(
     model: EmbeddingModel,
-    index: SimilarityIndex,
+    index: VectorIndex,
     si_values: dict[str, int],
     k: int = 20,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -110,7 +125,7 @@ def cold_user_vector(
 
 def recommend_for_cold_user(
     model: EmbeddingModel,
-    index: SimilarityIndex,
+    index: VectorIndex,
     k: int = 20,
     gender: str | None = None,
     age_bucket: str | None = None,

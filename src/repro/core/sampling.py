@@ -87,6 +87,9 @@ def build_noise_distribution(counts: np.ndarray, alpha: float = 0.75) -> np.ndar
     require(len(counts) > 0, "counts must be non-empty")
     require(bool(np.all(counts >= 0)), "counts must be non-negative")
     weights = counts ** alpha
+    # NumPy evaluates 0**0 as 1; a token never seen must carry zero noise
+    # mass regardless of alpha.
+    weights[counts == 0] = 0.0
     total = weights.sum()
     require(total > 0, "at least one token must have positive count")
     return weights / total

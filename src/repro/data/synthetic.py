@@ -33,14 +33,13 @@ test (:mod:`repro.eval.ctr`) uses as its click model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.schema import (
     AGE_BUCKETS,
     GENDERS,
-    ITEM_SI_FEATURES,
     PURCHASE_POWERS,
     USER_TAGS,
     BehaviorDataset,

@@ -1,10 +1,19 @@
-"""Serving-side artifacts: the precomputed item-to-item candidate table.
+"""The online matching stage: candidate table, model store, request service.
 
-The matching stage's production deliverable is not the embedding model —
-it is the nightly *I2I candidate table* derived from it: for every item,
-a ranked, filtered list of candidate items that the online system looks
-up in O(1) when a user clicks.  This package builds, filters, persists
-and serves that table.
+The offline pipeline (training → similarity index → ANN index → nightly
+candidate table) produces artifacts; this package turns them into a
+request-serving system:
+
+- :mod:`repro.serving.candidates` — the nightly precomputed I2I table;
+- :mod:`repro.serving.store` — double-buffered bundle of serving
+  artifacts with atomic hot swap (the daily-refresh handover);
+- :mod:`repro.serving.service` — the request router: tiered fallback
+  chain (table → ANN → cold item → cold user → popularity), LRU/TTL
+  result cache, micro-batched ANN retrieval;
+- :mod:`repro.serving.cache` / :mod:`repro.serving.metrics` — the hot
+  path's cache and per-tier latency accounting;
+- :mod:`repro.serving.loadgen` — synthetic traffic replay with QPS and
+  tail-latency reporting.
 """
 
 from repro.serving.candidates import (
@@ -12,5 +21,40 @@ from repro.serving.candidates import (
     CandidateTableConfig,
     build_candidate_table,
 )
+from repro.serving.cache import LRUTTLCache
+from repro.serving.loadgen import LoadMix, run_load, synth_requests
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.service import (
+    MatchingService,
+    MatchingServiceConfig,
+    MatchRequest,
+    MatchResult,
+    TIERS,
+)
+from repro.serving.store import (
+    ModelBundle,
+    ModelStore,
+    build_bundle,
+    popularity_ranking,
+)
 
-__all__ = ["CandidateTable", "CandidateTableConfig", "build_candidate_table"]
+__all__ = [
+    "CandidateTable",
+    "CandidateTableConfig",
+    "build_candidate_table",
+    "LRUTTLCache",
+    "LatencyHistogram",
+    "ServingMetrics",
+    "MatchingService",
+    "MatchingServiceConfig",
+    "MatchRequest",
+    "MatchResult",
+    "TIERS",
+    "ModelBundle",
+    "ModelStore",
+    "build_bundle",
+    "popularity_ranking",
+    "LoadMix",
+    "run_load",
+    "synth_requests",
+]

@@ -61,10 +61,14 @@ class CandidateTable:
     ) -> None:
         require(candidates.shape == scores.shape, "candidates/scores mismatch")
         require(len(items) == len(candidates), "items/candidates mismatch")
-        self._items = items
+        self._items = np.asarray(items, dtype=np.int64)
         self._candidates = candidates
         self._scores = scores
         self._row = {int(i): r for r, i in enumerate(items)}
+        # Sorted view for vectorized batch lookups via searchsorted.
+        order = np.argsort(self._items, kind="stable")
+        self._sorted_items = self._items[order]
+        self._sorted_rows = order.astype(np.int64)
 
     @property
     def k(self) -> int:
@@ -77,7 +81,12 @@ class CandidateTable:
         return int(item_id) in self._row
 
     def lookup(self, item_id: int) -> tuple[np.ndarray, np.ndarray]:
-        """``(candidate_ids, scores)`` for one item (padded with -1)."""
+        """``(candidate_ids, scores)`` for one item.
+
+        Rows are padded to width ``k``: pad ids are ``-1`` and pad
+        scores are ``NaN`` (a pad is *not* a zero-similarity candidate);
+        ``candidate_ids >= 0`` is the valid mask.
+        """
         row = self._row.get(int(item_id))
         if row is None:
             raise KeyError(f"item {item_id} not in the candidate table")
@@ -89,16 +98,43 @@ class CandidateTable:
         valid = candidates >= 0
         return candidates[valid][:k], scores[valid][:k]
 
+    def _rows_of(self, item_ids: np.ndarray) -> np.ndarray:
+        """Vectorized item-id -> row mapping (``-1`` for unknown ids)."""
+        pos = np.searchsorted(self._sorted_items, item_ids)
+        pos = np.clip(pos, 0, len(self._sorted_items) - 1)
+        rows = self._sorted_rows[pos]
+        return np.where(self._items[rows] == item_ids, rows, -1)
+
     def topk_batch(self, item_ids: np.ndarray, k: int) -> np.ndarray:
-        """Batched lookups for the HR evaluator (pads with ``-1``)."""
+        """Batched lookups for the HR evaluator (pads with ``-1``).
+
+        Resolves every id with one ``searchsorted`` and gathers all rows
+        with a single fancy index — no per-item Python dict lookups.
+        """
         require_positive(k, "k")
+        item_ids = np.asarray(item_ids, dtype=np.int64)
         out = np.full((len(item_ids), k), -1, dtype=np.int64)
+        if len(item_ids) == 0 or len(self._items) == 0:
+            return out
         kk = min(k, self.k)
-        for row, item_id in enumerate(np.asarray(item_ids, dtype=np.int64)):
-            table_row = self._row.get(int(item_id))
-            if table_row is not None:
-                out[row, :kk] = self._candidates[table_row, :kk]
+        rows = self._rows_of(item_ids)
+        found = rows >= 0
+        out[found, :kk] = self._candidates[rows[found], :kk]
         return out
+
+    def subset(self, item_ids: np.ndarray) -> "CandidateTable":
+        """A new table restricted to ``item_ids`` (must all be present).
+
+        Used to shard a table across workers or to simulate partial
+        nightly coverage (items listed after the build are absent and
+        must be served by the live-ANN tier).
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        rows = self._rows_of(item_ids)
+        require(bool(np.all(rows >= 0)), "subset contains unknown items")
+        return CandidateTable(
+            self._items[rows], self._candidates[rows], self._scores[rows]
+        )
 
     def save(self, path: "str | Path") -> None:
         """Persist as a compressed ``.npz``."""
@@ -137,8 +173,10 @@ def build_candidate_table(
     shop = np.asarray([item.si_values["shop"] for item in dataset.items])
     brand = np.asarray([item.si_values["brand"] for item in dataset.items])
 
+    # Pads stay NaN so "no candidate" is never confused with a real
+    # zero-similarity score; `candidates >= 0` is the valid mask.
     candidates = np.full((len(item_ids), k), -1, dtype=np.int64)
-    scores = np.full((len(item_ids), k), -np.inf)
+    scores = np.full((len(item_ids), k), np.nan)
     for row, item_id in enumerate(item_ids):
         raw_items, raw_scores = index.topk(int(item_id), fetch)
         shop_counts: dict[int, int] = {}
@@ -162,7 +200,6 @@ def build_candidate_table(
             kept += 1
             if kept == k:
                 break
-    scores[scores == -np.inf] = 0.0
     logger.info(
         "candidate table: %d items x top-%d (fetch %d)",
         len(item_ids),

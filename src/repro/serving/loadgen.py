@@ -1,0 +1,177 @@
+"""Synthetic load generation against the matching service.
+
+Drives a :class:`~repro.serving.service.MatchingService` with a
+configurable request mix (warm items skewed Zipf-style like real click
+traffic, cold items, cold users, garbage), optionally performs a hot
+swap mid-run, and reports QPS, cache hit rate and per-tier latency
+quantiles as one JSON-serializable dict.  Shared by the ``sisg loadgen``
+CLI command and ``benchmarks/bench_serving_latency.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.schema import (
+    AGE_BUCKETS,
+    GENDERS,
+    PURCHASE_POWERS,
+    BehaviorDataset,
+)
+from repro.serving.service import MatchingService, MatchRequest
+from repro.utils import Timer, ensure_rng, get_logger, require, require_positive
+
+logger = get_logger("serving.loadgen")
+
+
+@dataclass
+class LoadMix:
+    """Request-mix fractions; must sum to 1."""
+
+    warm: float = 0.70
+    cold_item: float = 0.10
+    cold_user: float = 0.10
+    unknown: float = 0.10
+
+    def validate(self) -> None:
+        parts = (self.warm, self.cold_item, self.cold_user, self.unknown)
+        require(all(p >= 0 for p in parts), "mix fractions must be >= 0")
+        require(
+            abs(sum(parts) - 1.0) < 1e-9,
+            f"mix fractions must sum to 1, got {sum(parts)}",
+        )
+
+
+def synth_requests(
+    dataset: BehaviorDataset,
+    n_requests: int,
+    mix: LoadMix | None = None,
+    zipf_a: float = 1.2,
+    seed: "int | np.random.Generator | None" = 0,
+) -> list[MatchRequest]:
+    """Sample a request stream shaped like homepage-feed traffic.
+
+    - *warm*: item ids drawn Zipf(``zipf_a``) over the catalogue, so a
+      hot head dominates — which is what makes the result cache earn
+      its keep;
+    - *cold item*: SI values copied from a random existing item but no
+      ``item_id`` (a new listing described only by metadata);
+    - *cold user*: random known demographics, no item;
+    - *unknown*: an item id far outside the catalogue and no metadata
+      (exercises the popularity tier).
+    """
+    mix = mix or LoadMix()
+    mix.validate()
+    require_positive(n_requests, "n_requests")
+    rng = ensure_rng(seed)
+    n_items = dataset.n_items
+    kinds = rng.choice(
+        4,
+        size=n_requests,
+        p=[mix.warm, mix.cold_item, mix.cold_user, mix.unknown],
+    )
+    requests: list[MatchRequest] = []
+    for kind in kinds:
+        if kind == 0:
+            rank = int(rng.zipf(zipf_a))
+            requests.append(MatchRequest(item_id=min(rank - 1, n_items - 1)))
+        elif kind == 1:
+            donor = dataset.items[int(rng.integers(n_items))]
+            requests.append(MatchRequest(si_values=dict(donor.si_values)))
+        elif kind == 2:
+            requests.append(
+                MatchRequest(
+                    gender=str(rng.choice(GENDERS)),
+                    age_bucket=str(rng.choice(AGE_BUCKETS)),
+                    purchase_power=str(rng.choice(PURCHASE_POWERS)),
+                )
+            )
+        else:
+            requests.append(MatchRequest(item_id=n_items + int(rng.integers(10**6))))
+    return requests
+
+
+def run_load(
+    service: MatchingService,
+    requests: list[MatchRequest],
+    k: int = 10,
+    batch_size: int = 1,
+    swap: Callable[[], object] | None = None,
+    swap_after: float = 0.5,
+) -> dict:
+    """Replay ``requests`` against ``service`` and report the results.
+
+    Parameters
+    ----------
+    service, requests, k:
+        What to drive and how many candidates to ask for.
+    batch_size:
+        ``1`` uses the single-request path; larger values use
+        :meth:`MatchingService.recommend_batch` (micro-batched ANN).
+    swap:
+        Optional zero-argument callable (e.g. ``lambda:
+        store.swap(new_bundle)``) fired once after ``swap_after`` of the
+        stream has been served — simulates the nightly refresh landing
+        mid-traffic.  Failures during/after the swap are counted, not
+        raised.
+
+    Returns
+    -------
+    dict
+        ``{n_requests, duration_s, qps, failures, swap_performed,
+        versions_served, cache_hit_rate, tiers: {...}, cache: {...}}``
+    """
+    require_positive(k, "k")
+    require_positive(batch_size, "batch_size")
+    require(0.0 < swap_after <= 1.0, "swap_after must be in (0, 1]")
+    n = len(requests)
+    require_positive(n, "len(requests)")
+    swap_at = int(n * swap_after) if swap is not None else None
+    failures = 0
+    served = 0
+    swapped = False
+    versions: set[int] = set()
+    lap_times: list[float] = []
+
+    timer = Timer()
+    timer.start()
+    position = 0
+    while position < n:
+        if swap_at is not None and not swapped and position >= swap_at:
+            swap()
+            swapped = True
+        chunk = requests[position : position + batch_size]
+        try:
+            if batch_size == 1:
+                outcomes = [service.recommend(chunk[0], k)]
+            else:
+                outcomes = service.recommend_batch(chunk, k)
+            for result in outcomes:
+                versions.add(result.version)
+            served += len(outcomes)
+        except Exception:
+            failures += len(chunk)
+            logger.exception("request(s) failed at position %d", position)
+        position += len(chunk)
+        lap_times.append(timer.lap())
+    duration = timer.stop()
+
+    snap = service.snapshot()
+    return {
+        "n_requests": n,
+        "served": served,
+        "duration_s": duration,
+        "qps": served / duration if duration > 0 else 0.0,
+        "failures": failures,
+        "batch_size": batch_size,
+        "swap_performed": swapped,
+        "versions_served": sorted(versions),
+        "cache_hit_rate": snap["cache_hit_rate"],
+        "max_lap_s": max(lap_times) if lap_times else 0.0,
+        "tiers": snap["tiers"],
+        "cache": snap["cache"],
+        "store_version": snap["store_version"],
+    }

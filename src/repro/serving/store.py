@@ -1,0 +1,182 @@
+"""Double-buffered model store: atomic hot swap of serving artifacts.
+
+The paper's deployment recomputes *all* embeddings daily (Sec. V), which
+means the online matcher must pick up a new model + ANN index + candidate
+table every night without dropping requests.  The classic recipe is
+double buffering: the refresh pipeline builds a complete
+:class:`ModelBundle` off to the side (the expensive part — k-means,
+table materialization — happens outside any lock), then the store swaps
+a single reference under a lock.  In-flight requests keep the bundle
+snapshot they grabbed at arrival, so a swap can never tear a request
+between yesterday's table and today's index.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.ann import IVFIndex
+from repro.core.model import EmbeddingModel
+from repro.core.similarity import SimilarityIndex
+from repro.data.schema import BehaviorDataset
+from repro.serving.candidates import (
+    CandidateTable,
+    CandidateTableConfig,
+    build_candidate_table,
+)
+from repro.utils import get_logger, require
+
+logger = get_logger("serving.store")
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """One immutable generation of serving artifacts.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing generation number (assigned by the
+        store on swap).
+    model:
+        The trained embedding model (needed for cold-start vectors).
+    index:
+        Exact similarity index (query-vector access, exhaustive top-K).
+    ann:
+        IVF approximate index — the live-retrieval tier.
+    table:
+        Nightly precomputed candidate table — the O(1) tier.
+    popular_items, popular_scores:
+        Click-ranked items for the popularity fallback tier; scores are
+        normalized click shares.
+    """
+
+    version: int
+    model: EmbeddingModel
+    index: SimilarityIndex
+    ann: IVFIndex
+    table: CandidateTable
+    popular_items: np.ndarray
+    popular_scores: np.ndarray
+
+
+def popularity_ranking(
+    dataset: BehaviorDataset, max_items: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Items ranked by click count; scores are normalized click shares.
+
+    The last-resort tier: when a request matches nothing (unknown item
+    with no usable SI, demographics outside every trained user type),
+    serving *something* plausible beats serving nothing.
+    """
+    counts = np.zeros(dataset.n_items, dtype=np.int64)
+    for session in dataset.sessions:
+        for item_id in session.items:
+            counts[item_id] += 1
+    order = np.argsort(-counts, kind="stable")
+    if max_items is not None:
+        order = order[:max_items]
+    total = counts.sum()
+    scores = counts[order] / total if total else np.zeros(len(order))
+    return order.astype(np.int64), scores
+
+
+def build_bundle(
+    model: EmbeddingModel,
+    dataset: BehaviorDataset,
+    mode: str = "cosine",
+    table_config: CandidateTableConfig | None = None,
+    n_cells: int | None = None,
+    n_probe: int = 4,
+    max_popular: int | None = 1000,
+    table_coverage: float = 1.0,
+    seed: "int | np.random.Generator | None" = 0,
+) -> ModelBundle:
+    """Materialize every serving artifact for one model generation.
+
+    This is the expensive half of a refresh (k-means for the IVF index,
+    the filtered candidate table); call it *before* handing the result
+    to :meth:`ModelStore.swap` so the swap itself stays O(1).
+
+    ``table_coverage < 1.0`` keeps only that fraction of items in the
+    candidate table — the rest fall through to the live-ANN tier, like
+    items listed after the nightly build.
+    """
+    require(0.0 < table_coverage <= 1.0, "table_coverage must be in (0, 1]")
+    index = SimilarityIndex(model, mode=mode)
+    ann = IVFIndex(index, n_cells=n_cells, n_probe=n_probe, seed=seed)
+    table = build_candidate_table(index, dataset, table_config)
+    if table_coverage < 1.0:
+        covered = index.item_ids[: max(1, int(len(table) * table_coverage))]
+        table = table.subset(covered)
+    popular_items, popular_scores = popularity_ranking(dataset, max_popular)
+    return ModelBundle(
+        version=0,
+        model=model,
+        index=index,
+        ann=ann,
+        table=table,
+        popular_items=popular_items,
+        popular_scores=popular_scores,
+    )
+
+
+class ModelStore:
+    """Holds the live :class:`ModelBundle`; swaps are atomic.
+
+    ``current()`` hands out an immutable snapshot; requests must grab it
+    once at arrival and use only that snapshot so a mid-request swap
+    cannot mix generations.
+    """
+
+    def __init__(self, bundle: ModelBundle) -> None:
+        self._lock = threading.Lock()
+        self._bundle = replace(bundle, version=max(bundle.version, 0))
+
+    def current(self) -> ModelBundle:
+        """The live bundle (an immutable snapshot; safe to hold)."""
+        # Reference reads are atomic in CPython; the lock is only needed
+        # on the write side to serialize concurrent swappers.
+        return self._bundle
+
+    @property
+    def version(self) -> int:
+        """Version of the live bundle."""
+        return self._bundle.version
+
+    def swap(self, bundle: ModelBundle) -> ModelBundle:
+        """Install ``bundle`` as the live generation; returns the old one.
+
+        The incoming bundle's version is overwritten with
+        ``old.version + 1`` so generations are strictly increasing no
+        matter what the refresh pipeline stamped.
+        """
+        require(bundle is not None, "cannot swap in a null bundle")
+        with self._lock:
+            old = self._bundle
+            self._bundle = replace(bundle, version=old.version + 1)
+            logger.info(
+                "hot swap: bundle v%d -> v%d (%d items in table)",
+                old.version,
+                self._bundle.version,
+                len(self._bundle.table),
+            )
+            return old
+
+    def refresh(
+        self,
+        model: EmbeddingModel,
+        dataset: BehaviorDataset,
+        **build_kwargs,
+    ) -> ModelBundle:
+        """Build artifacts for ``model`` and swap them in; returns the old bundle.
+
+        Convenience wrapper for the nightly loop: the expensive
+        :func:`build_bundle` runs outside the lock, only the pointer
+        flip is serialized.
+        """
+        bundle = build_bundle(model, dataset, **build_kwargs)
+        return self.swap(bundle)

@@ -6,7 +6,13 @@ import time
 
 
 class Timer:
-    """Context-manager stopwatch.
+    """Context-manager stopwatch with split-lap support.
+
+    One Timer can be reused across many measurements without
+    re-allocation: ``start()`` restarts it from zero (no ``reset()``
+    needed), and ``lap()`` takes per-iteration splits while the
+    stopwatch keeps running — the pattern the serving load generator
+    uses to time each request without a Timer per call.
 
     Examples
     --------
@@ -19,6 +25,7 @@ class Timer:
 
     def __init__(self) -> None:
         self._start: float | None = None
+        self._lap: float | None = None
         self._elapsed = 0.0
 
     def __enter__(self) -> "Timer":
@@ -29,8 +36,21 @@ class Timer:
         self.stop()
 
     def start(self) -> None:
-        """Start (or restart) the stopwatch."""
+        """Start (or restart) the stopwatch; also resets the lap marker."""
         self._start = time.perf_counter()
+        self._lap = self._start
+
+    def lap(self) -> float:
+        """Seconds since the last ``lap()`` (or ``start()``), without stopping.
+
+        Lets one Timer take arbitrarily many per-iteration splits.
+        """
+        if self._start is None or self._lap is None:
+            raise RuntimeError("Timer.lap() called before start()")
+        now = time.perf_counter()
+        split = now - self._lap
+        self._lap = now
+        return split
 
     def stop(self) -> float:
         """Stop the stopwatch and return the elapsed seconds."""

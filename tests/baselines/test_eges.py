@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.baselines.eges import EGES, EGESConfig
-from repro.data.schema import ITEM_SI_FEATURES
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.ann import IVFIndex, kmeans
-from repro.core.similarity import SimilarityIndex
 
 
 class TestKMeans:
@@ -100,3 +99,52 @@ class TestIVFIndex:
             IVFIndex(exact_index, n_probe=0)
         with pytest.raises(ValueError):
             IVFIndex(exact_index, n_cells=10**6)
+
+
+class TestTopkBatch:
+    def test_matches_single_query(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=12, n_probe=4, seed=0)
+        queries = exact_index.item_ids[:25]
+        batch_ids, batch_scores = ivf.topk_batch(queries, 10)
+        assert batch_ids.shape == (25, 10)
+        for row, item in enumerate(queries):
+            single_ids, single_scores = ivf.topk(int(item), 10)
+            valid = batch_ids[row] >= 0
+            np.testing.assert_array_equal(batch_ids[row][valid], single_ids)
+            np.testing.assert_allclose(batch_scores[row][valid], single_scores)
+
+    def test_exhaustive_probes_match_exact(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=8, n_probe=8, seed=0)
+        queries = exact_index.item_ids[:10]
+        batch_ids, _ = ivf.topk_batch(queries, 10)
+        for row, item in enumerate(queries):
+            exact_items, _ = exact_index.topk(int(item), 10)
+            np.testing.assert_array_equal(batch_ids[row], exact_items)
+
+    def test_query_items_excluded(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=6, n_probe=6, seed=0)
+        queries = exact_index.item_ids[:12]
+        batch_ids, _ = ivf.topk_batch(queries, 10)
+        for row, item in enumerate(queries):
+            assert int(item) not in batch_ids[row]
+
+    def test_pads_marked_invalid(self, exact_index):
+        # k far above the catalogue size forces pads on every row.
+        ivf = IVFIndex(exact_index, n_cells=4, n_probe=4, seed=0)
+        n = exact_index.n_items
+        batch_ids, batch_scores = ivf.topk_batch(exact_index.item_ids[:3], n + 5)
+        pads = batch_ids < 0
+        assert pads.any()
+        assert np.all(np.isnan(batch_scores[pads]))
+        assert not np.isnan(batch_scores[~pads]).any()
+
+    def test_empty_batch(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=4, seed=0)
+        ids, scores = ivf.topk_batch(np.empty(0, dtype=np.int64), 5)
+        assert ids.shape == (0, 5)
+        assert scores.shape == (0, 5)
+
+    def test_invalid_k(self, exact_index):
+        ivf = IVFIndex(exact_index, n_cells=4, seed=0)
+        with pytest.raises(ValueError):
+            ivf.topk_batch(exact_index.item_ids[:2], 0)

@@ -1,7 +1,5 @@
 """Unit tests for SI-enhanced sequence construction (Eq. 4)."""
 
-import numpy as np
-import pytest
 
 from repro.core.enrichment import (
     build_enriched_corpus,

@@ -7,7 +7,7 @@ from repro.core.incremental import embedding_drift, incremental_update
 from repro.core.sgns import SGNSConfig
 from repro.core.similarity import SimilarityIndex
 from repro.core.vocab import TokenKind
-from repro.data.schema import BehaviorDataset, ItemMeta, Session
+from repro.data.schema import BehaviorDataset, ItemMeta
 from repro.data.synthetic import SyntheticWorld
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.sampling import AliasSampler
 from repro.core.sgns import SGNSConfig, SGNSTrainer, scatter_update, sigmoid
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.sisg import SISG, SISGConfig
-from repro.core.sgns import SGNSConfig
 from repro.core.vocab import TokenKind
 
 

@@ -9,7 +9,7 @@ from repro.data.schema import (
     Session,
     UserMeta,
 )
-from repro.data.stats import CorpusStats, _pair_count, compute_corpus_stats
+from repro.data.stats import _pair_count, compute_corpus_stats
 
 
 def make_dataset():

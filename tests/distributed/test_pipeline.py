@@ -1,6 +1,5 @@
 """Tests for the end-to-end training pipeline (Section III-C)."""
 
-import numpy as np
 import pytest
 
 from repro.core.similarity import SimilarityIndex

@@ -1,0 +1,31 @@
+"""Shared fixtures for the online-serving test suite.
+
+The bundle build (k-means + candidate table) dominates runtime, so one
+bundle per module is shared; tests that need isolated counters build
+their own cheap :class:`MatchingService` over the shared bundle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import ModelStore, build_bundle
+
+
+@pytest.fixture(scope="module")
+def serving_bundle(fitted_sisg, tiny_split):
+    """One serving bundle over the shared SISG-F-U-D model.
+
+    ``table_coverage=0.8`` leaves 20% of items out of the nightly table
+    so the live-ANN tier is reachable.
+    """
+    train, _ = tiny_split
+    return build_bundle(
+        fitted_sisg.model, train, n_cells=12, table_coverage=0.8, seed=0
+    )
+
+
+@pytest.fixture()
+def fresh_store(serving_bundle):
+    """A store over the shared bundle (fresh version counter per test)."""
+    return ModelStore(serving_bundle)

@@ -1,0 +1,78 @@
+"""Tests for serving counters and latency histograms."""
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot_is_zero(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantiles_match_numpy(self):
+        hist = LatencyHistogram(max_samples=1000)
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(scale=0.001, size=500)
+        for s in samples:
+            hist.observe(float(s))
+        for q in (0.5, 0.95, 0.99):
+            assert hist.quantile(q) == pytest.approx(np.quantile(samples, q))
+
+    def test_snapshot_ordering(self):
+        hist = LatencyHistogram()
+        for s in np.linspace(0.001, 0.1, 200):
+            hist.observe(float(s))
+        snap = hist.snapshot()
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["count"] == 200.0
+        assert snap["mean"] == pytest.approx(np.linspace(0.001, 0.1, 200).mean())
+
+    def test_ring_buffer_keeps_recent(self):
+        hist = LatencyHistogram(max_samples=10)
+        for _ in range(100):
+            hist.observe(1.0)  # old regime
+        for _ in range(10):
+            hist.observe(2.0)  # recent regime fills the whole ring
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.count == 110  # lifetime count survives the ring
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_samples=0)
+
+
+class TestServingMetrics:
+    def test_counters(self):
+        metrics = ServingMetrics()
+        metrics.incr("requests")
+        metrics.incr("requests", 4)
+        assert metrics.counter("requests") == 5
+        assert metrics.counter("never_touched") == 0
+
+    def test_per_tier_histograms(self):
+        metrics = ServingMetrics()
+        metrics.observe("table", 0.001)
+        metrics.observe("table", 0.003)
+        metrics.observe("ann", 0.010)
+        snap = metrics.snapshot()
+        assert set(snap["tiers"]) == {"table", "ann"}
+        assert snap["tiers"]["table"]["count"] == 2.0
+        assert snap["tiers"]["ann"]["p50"] == pytest.approx(0.010)
+
+    def test_cache_hit_rate(self):
+        metrics = ServingMetrics()
+        assert metrics.cache_hit_rate == 0.0
+        metrics.incr("cache_hit", 3)
+        metrics.incr("cache_miss", 1)
+        assert metrics.cache_hit_rate == pytest.approx(0.75)
+        assert metrics.snapshot()["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.incr("requests")
+        metrics.observe("popularity", 0.0001)
+        json.dumps(metrics.snapshot())  # must not raise

@@ -1,0 +1,103 @@
+"""Tests for the double-buffered model store and bundle building."""
+
+import numpy as np
+import pytest
+
+from repro.serving import build_bundle, popularity_ranking
+from repro.serving.store import ModelBundle
+
+
+class TestPopularityRanking:
+    def test_ranked_by_click_count(self, tiny_split):
+        train, _ = tiny_split
+        items, scores = popularity_ranking(train)
+        counts = np.zeros(train.n_items, dtype=np.int64)
+        for session in train.sessions:
+            for item in session.items:
+                counts[item] += 1
+        assert counts[items[0]] == counts.max()
+        assert np.all(np.diff(counts[items]) <= 0)
+        assert scores.sum() == pytest.approx(counts[items].sum() / counts.sum())
+
+    def test_max_items_truncates(self, tiny_split):
+        train, _ = tiny_split
+        items, scores = popularity_ranking(train, max_items=10)
+        assert len(items) == 10 and len(scores) == 10
+
+    def test_empty_sessions(self, tiny_split):
+        from repro.data.schema import BehaviorDataset
+
+        train, _ = tiny_split
+        empty = BehaviorDataset(train.items, train.users, [], validate=False)
+        items, scores = popularity_ranking(empty)
+        assert len(items) == train.n_items
+        assert np.all(scores == 0.0)
+
+
+class TestBuildBundle:
+    def test_full_coverage(self, fitted_sisg, tiny_split):
+        train, _ = tiny_split
+        bundle = build_bundle(fitted_sisg.model, train, n_cells=8, seed=0)
+        assert len(bundle.table) == bundle.index.n_items
+        assert bundle.version == 0
+        assert len(bundle.popular_items) > 0
+
+    def test_partial_coverage_leaves_ann_tier(self, serving_bundle):
+        n_index = serving_bundle.index.n_items
+        assert len(serving_bundle.table) < n_index
+        uncovered = [
+            int(i)
+            for i in serving_bundle.index.item_ids
+            if int(i) not in serving_bundle.table
+        ]
+        assert uncovered and all(i in serving_bundle.ann for i in uncovered)
+
+    def test_invalid_coverage(self, fitted_sisg, tiny_split):
+        train, _ = tiny_split
+        with pytest.raises(ValueError):
+            build_bundle(fitted_sisg.model, train, table_coverage=0.0)
+        with pytest.raises(ValueError):
+            build_bundle(fitted_sisg.model, train, table_coverage=1.5)
+
+
+class TestModelStore:
+    def test_current_returns_bundle(self, fresh_store, serving_bundle):
+        current = fresh_store.current()
+        assert isinstance(current, ModelBundle)
+        assert current.table is serving_bundle.table
+        assert fresh_store.version == 0
+
+    def test_swap_increments_version_and_returns_old(
+        self, fresh_store, serving_bundle
+    ):
+        old = fresh_store.swap(serving_bundle)
+        assert old.version == 0
+        assert fresh_store.version == 1
+        fresh_store.swap(serving_bundle)
+        assert fresh_store.version == 2
+
+    def test_swap_overrides_stale_version_stamp(self, fresh_store, serving_bundle):
+        from dataclasses import replace
+
+        stale = replace(serving_bundle, version=-5)
+        fresh_store.swap(stale)
+        assert fresh_store.version == 1  # strictly increasing regardless
+
+    def test_snapshot_survives_swap(self, fresh_store, serving_bundle):
+        snapshot = fresh_store.current()
+        fresh_store.swap(serving_bundle)
+        # The old snapshot still answers queries consistently.
+        item = int(snapshot.table._items[0])
+        items, scores = snapshot.table.topk(item, 5)
+        assert len(items) == len(scores)
+        assert snapshot.version == 0
+        assert fresh_store.current().version == 1
+
+    def test_refresh_builds_and_swaps(self, fitted_sisg, tiny_split, fresh_store):
+        train, _ = tiny_split
+        old = fresh_store.refresh(
+            fitted_sisg.model, train, n_cells=8, table_coverage=0.9, seed=3
+        )
+        assert old.version == 0
+        assert fresh_store.version == 1
+        assert len(fresh_store.current().table) < fresh_store.current().index.n_items

@@ -1,5 +1,7 @@
 """End-to-end tests for the ``sisg`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -32,6 +34,26 @@ def dataset_path(tmp_path_factory):
             "--tops", "3",
             "--sessions", "400",
             "--seed", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def serving_model_path(dataset_path, tmp_path_factory):
+    """A trained SISG-F-U model for the serving commands (has user types)."""
+    path = tmp_path_factory.mktemp("cli-serve") / "model"
+    code = main(
+        [
+            "train",
+            str(dataset_path),
+            str(path),
+            "--variant", "SISG-F-U",
+            "--dim", "8",
+            "--epochs", "1",
+            "--window", "2",
+            "--negatives", "3",
         ]
     )
     assert code == 0
@@ -81,6 +103,54 @@ class TestWorkflow:
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("item_") == 5
+
+    def test_serve_demo(self, dataset_path, serving_model_path, capsys):
+        code = main(
+            ["serve-demo", str(dataset_path), str(serving_model_path), "-k", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for needle in ("table", "ann", "cold_item", "popularity", "hot swap"):
+            assert needle in out
+        assert '"store_version": 1' in out  # the demo performed a swap
+
+    def test_loadgen_json_report(
+        self, dataset_path, serving_model_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "report.json"
+        code = main(
+            [
+                "loadgen",
+                str(dataset_path),
+                str(serving_model_path),
+                "--requests", "300",
+                "--batch-size", "8",
+                "--swap-mid",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert report["failures"] == 0
+        assert report["swap_performed"]
+        assert len(report["versions_served"]) == 2
+        assert report["qps"] > 0
+        assert "table" in report["tiers"]
+        for stats in report["tiers"].values():
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+        # stdout carries the same report
+        assert json.loads(capsys.readouterr().out) == report
+
+    def test_loadgen_bad_mix_rejected(self, dataset_path, serving_model_path):
+        code = main(
+            [
+                "loadgen",
+                str(dataset_path),
+                str(serving_model_path),
+                "--mix", "0.5,0.5",
+            ]
+        )
+        assert code == 2
 
     def test_train_distributed_engine(self, dataset_path, tmp_path):
         model_path = tmp_path / "dist_model"

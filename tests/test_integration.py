@@ -1,7 +1,6 @@
 """Cross-module integration tests: full train->evaluate->serve flows."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.itemcf import ItemCF
 from repro.core.sisg import SISG

@@ -115,4 +115,71 @@ class TestServe:
         a, sa = table.lookup(query)
         b, sb = loaded.lookup(query)
         np.testing.assert_array_equal(a, b)
-        np.testing.assert_allclose(sa, sb)
+        np.testing.assert_allclose(sa, sb)  # NaN pads compare equal
+
+    def test_pad_scores_are_nan_not_zero(self, fitted_sgns, tiny_split):
+        train, _ = tiny_split
+        # A high floor guarantees short rows, hence pads.
+        strict = build_candidate_table(
+            fitted_sgns.index,
+            train,
+            CandidateTableConfig(k=15, min_score=0.99, max_per_shop=None,
+                                 max_per_brand=None),
+        )
+        padded = False
+        for item in list(strict._row)[:50]:
+            candidates, scores = strict.lookup(item)
+            pads = candidates < 0
+            if pads.any():
+                padded = True
+                assert np.all(np.isnan(scores[pads]))
+            assert not np.isnan(scores[~pads]).any()
+        assert padded, "expected at least one padded row under min_score=0.99"
+
+    def test_padded_roundtrip_preserves_nan(self, fitted_sgns, tiny_split, tmp_path):
+        train, _ = tiny_split
+        strict = build_candidate_table(
+            fitted_sgns.index,
+            train,
+            CandidateTableConfig(k=15, min_score=0.99, max_per_shop=None,
+                                 max_per_brand=None),
+        )
+        path = tmp_path / "strict.npz"
+        strict.save(path)
+        loaded = CandidateTable.load(path)
+        for item in list(strict._row)[:20]:
+            a, sa = strict.lookup(item)
+            b, sb = loaded.lookup(item)
+            np.testing.assert_array_equal(a, b)
+            np.testing.assert_allclose(sa, sb)
+
+    def test_topk_batch_matches_per_item_lookup(self, table):
+        known = np.asarray(list(table._row)[:10], dtype=np.int64)
+        queries = np.concatenate([known, [10**9, -7]])  # unknown ids pad
+        out = table.topk_batch(queries, k=8)
+        for row, item in enumerate(queries):
+            if int(item) in table:
+                expected = table.lookup(int(item))[0][:8]
+                np.testing.assert_array_equal(out[row], expected)
+            else:
+                assert np.all(out[row] == -1)
+
+    def test_topk_batch_empty_queries(self, table):
+        out = table.topk_batch(np.empty(0, dtype=np.int64), k=5)
+        assert out.shape == (0, 5)
+
+    def test_subset(self, table):
+        keep = np.asarray(list(table._row)[:6], dtype=np.int64)
+        small = table.subset(keep)
+        assert len(small) == 6
+        for item in keep:
+            a, sa = table.lookup(int(item))
+            b, sb = small.lookup(int(item))
+            np.testing.assert_array_equal(a, b)
+            np.testing.assert_allclose(sa, sb)
+        with pytest.raises(KeyError):
+            small.lookup(int(list(table._row)[10]))
+
+    def test_subset_unknown_item_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.subset(np.asarray([10**9]))

@@ -122,3 +122,38 @@ class TestValidation:
         require_type("s", "x", int, str)
         with pytest.raises(TypeError, match="x must be int"):
             require_type("s", "x", int)
+
+
+class TestTimerLaps:
+    def test_lap_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().lap()
+
+    def test_laps_without_stopping(self):
+        t = Timer()
+        t.start()
+        first = t.lap()
+        second = t.lap()
+        assert first >= 0.0 and second >= 0.0
+        assert t.elapsed >= first + second  # still running
+
+    def test_laps_sum_close_to_elapsed(self):
+        t = Timer()
+        t.start()
+        laps = [t.lap() for _ in range(5)]
+        total = t.stop()
+        assert sum(laps) <= total
+
+    def test_reuse_without_reallocation(self):
+        t = Timer()
+        for _ in range(3):
+            t.start()
+            t.lap()
+            assert t.stop() >= 0.0
+
+    def test_start_resets_lap_marker(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        t.start()  # restart: the pending lap interval is discarded
+        assert t.lap() < 0.005
