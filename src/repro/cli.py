@@ -14,6 +14,10 @@ Commands mirror the production workflow:
 - ``sisg loadgen`` — replay synthetic traffic against the service and
   report QPS / cache hit rate / per-tier tail latency as JSON.
 
+``serve-demo`` and ``loadgen`` accept ``--shards N`` to serve from
+HBGP-sharded per-partition stores behind the scatter-gather dispatcher
+(``--shard-executor process`` runs one worker process per shard).
+
 Datasets are stored as ``.npz`` bundles via :mod:`repro.data.io_utils`.
 """
 
@@ -100,6 +104,23 @@ def _add_serve_demo(sub: argparse._SubParsersAction) -> None:
         help="fraction of items in the nightly table (rest hit live ANN)",
     )
     p.add_argument("--cells", type=int, default=None, help="IVF cells")
+    _add_shard_args(p)
+
+
+def _add_shard_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve from this many HBGP shards behind the scatter-gather"
+        " dispatcher (0/1 = the unsharded service)",
+    )
+    p.add_argument(
+        "--shard-executor",
+        default="serial",
+        choices=["serial", "process"],
+        help="gather execution: in-process, or one worker process per shard",
+    )
 
 
 def _add_loadgen(sub: argparse._SubParsersAction) -> None:
@@ -125,6 +146,7 @@ def _add_loadgen(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None, help="also write the JSON report here")
+    _add_shard_args(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -269,13 +291,41 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _build_service(args: argparse.Namespace):
-    """Shared setup for ``serve-demo``/``loadgen``: dataset -> live service."""
+    """Shared setup for ``serve-demo``/``loadgen``: dataset -> live service.
+
+    ``--shards N`` (N >= 2) partitions the item space with HBGP and
+    serves from per-shard stores behind the scatter-gather dispatcher;
+    ``--shard-executor process`` adds one worker process per shard.
+    """
     from repro.core.model import EmbeddingModel
     from repro.data.io_utils import load_dataset
     from repro.serving import MatchingService, ModelStore, build_bundle
 
     dataset = load_dataset(args.dataset)
     model = EmbeddingModel.load(args.model)
+    if getattr(args, "shards", 0) and args.shards >= 2:
+        from repro.graph.hbgp import HBGPConfig, hbgp_partition
+        from repro.serving import (
+            ShardedMatchingService,
+            ShardedModelStore,
+            ShardWorkerPool,
+        )
+
+        partition = hbgp_partition(dataset, HBGPConfig(n_partitions=args.shards))
+        store = ShardedModelStore.build(
+            model,
+            dataset,
+            partition,
+            n_cells=args.cells,
+            table_coverage=args.table_coverage,
+            seed=0,
+        )
+        pool = (
+            ShardWorkerPool(store)
+            if args.shard_executor == "process"
+            else None
+        )
+        return dataset, model, store, ShardedMatchingService(store, pool=pool)
     bundle = build_bundle(
         model,
         dataset,
@@ -290,14 +340,27 @@ def _build_service(args: argparse.Namespace):
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     import json
 
-    from repro.serving import MatchRequest, build_bundle
+    import numpy as np
+
+    from repro.serving import MatchRequest, build_bundle, build_shard_bundle
 
     dataset, model, store, service = _build_service(args)
-    bundle = store.current()
-    covered = bundle.table._items
-    uncovered = [
-        int(i) for i in bundle.index.item_ids if int(i) not in bundle.table
-    ]
+    sharded = hasattr(store, "n_shards")
+    if sharded:
+        bundles = store.snapshot()
+        covered = np.concatenate([b.table.item_ids for b in bundles])
+        uncovered = [
+            int(i)
+            for b in bundles
+            for i in b.index.item_ids
+            if int(i) not in b.table
+        ]
+    else:
+        bundle = store.current()
+        covered = bundle.table.item_ids
+        uncovered = [
+            int(i) for i in bundle.index.item_ids if int(i) not in bundle.table
+        ]
 
     def show(label: str, request) -> None:
         result = service.recommend(request, args.k)
@@ -319,18 +382,33 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     show("unknown item", MatchRequest(item_id=10**9))
 
     print("— hot swap —")
-    store.swap(
-        build_bundle(
+    if sharded:
+        # Refresh only shard 0: the other shards keep serving untouched.
+        new_bundle = build_shard_bundle(
             model,
             dataset,
+            np.flatnonzero(store.item_partition == 0),
             n_cells=args.cells,
             table_coverage=args.table_coverage,
             seed=1,
         )
-    )
+        service.swap_shard(0, new_bundle)
+        print(f"swapped shard 0 only; shard versions: {store.versions}")
+    else:
+        store.swap(
+            build_bundle(
+                model,
+                dataset,
+                n_cells=args.cells,
+                table_coverage=args.table_coverage,
+                seed=1,
+            )
+        )
     show("warm item after swap", int(covered[0]))
     print("— metrics —")
     print(json.dumps(service.snapshot(), indent=2, sort_keys=True))
+    if sharded:
+        service.close()
     return 0
 
 
@@ -346,24 +424,48 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         return 2
     mix = LoadMix(*fractions)
     dataset, model, store, service = _build_service(args)
+    sharded = hasattr(store, "n_shards")
     requests = synth_requests(dataset, args.requests, mix=mix, seed=args.seed)
 
     swap = None
     if args.swap_mid:
-        def swap() -> None:
-            store.swap(
-                build_bundle(
-                    model,
-                    dataset,
-                    n_cells=args.cells,
-                    table_coverage=args.table_coverage,
-                    seed=args.seed + 1,
-                )
-            )
+        if sharded:
+            import numpy as np
 
-    report = run_load(
-        service, requests, k=args.k, batch_size=args.batch_size, swap=swap
-    )
+            from repro.serving import build_shard_bundle
+
+            def swap() -> None:
+                # Per-shard refresh: only shard 0 rebuilds mid-traffic.
+                service.swap_shard(
+                    0,
+                    build_shard_bundle(
+                        model,
+                        dataset,
+                        np.flatnonzero(store.item_partition == 0),
+                        n_cells=args.cells,
+                        table_coverage=args.table_coverage,
+                        seed=args.seed + 1,
+                    ),
+                )
+        else:
+            def swap() -> None:
+                store.swap(
+                    build_bundle(
+                        model,
+                        dataset,
+                        n_cells=args.cells,
+                        table_coverage=args.table_coverage,
+                        seed=args.seed + 1,
+                    )
+                )
+
+    try:
+        report = run_load(
+            service, requests, k=args.k, batch_size=args.batch_size, swap=swap
+        )
+    finally:
+        if sharded:
+            service.close()
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     if args.output:

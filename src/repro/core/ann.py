@@ -159,6 +159,33 @@ class IVFIndex:
             vector = vector / norm
         return self._search(vector, k, n_probe, exclude_item=None)
 
+    def topk_by_vector_batch(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        n_probe: int | None = None,
+        exclude_items: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k`` for many arbitrary query vectors at once.
+
+        The scatter-gather entry point of the sharded serving layer: a
+        dispatcher normalizes once and fans the same query block out to
+        every shard's index.  ``exclude_items`` (optional, one id per
+        row, ``-1`` for none) removes each query's own item from its row.
+        Returns ``(ids, scores)`` of shape ``(len(vectors), k)`` padded
+        with ``-1`` / ``NaN``.
+        """
+        require_positive(k, "k")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        require(vectors.ndim == 2, "vectors must be 2-dimensional")
+        if len(vectors) == 0:
+            return np.empty((0, k), dtype=np.int64), np.empty((0, k))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return self._search_batch(
+            vectors / norms, k, n_probe, exclude_items=exclude_items
+        )
+
     def topk_batch(
         self, item_ids: np.ndarray, k: int, n_probe: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:

@@ -107,7 +107,10 @@ def incremental_update(
                     vector += previous.w_in[si_tid]
                     found += 1
             if found:
-                w_in[token_id] = vector / found
+                # Eq. 6 is a *sum* over SI vectors (matching
+                # `infer_cold_item_vector`), not a mean — the warm-start
+                # initializer must land where cold-start retrieval would.
+                w_in[token_id] = vector
                 si_initialized += 1
 
     continuation = replace(

@@ -73,6 +73,36 @@ class SimilarityIndex:
         """Number of items in the index."""
         return len(self._item_ids)
 
+    def restrict(self, item_ids: np.ndarray) -> "SimilarityIndex":
+        """A view of this index covering only ``item_ids``.
+
+        Used to shard retrieval by HBGP partition: each shard serves the
+        rows it owns, and a scatter-gather over all shards reproduces the
+        full index (scores are computed from the same normalized vectors,
+        so per-shard results merge by score).  Rows are sliced, not
+        recomputed; the underlying model is shared.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        require(len(item_ids) > 0, "cannot restrict an index to zero items")
+        missing = [int(i) for i in item_ids if int(i) not in self._item_row]
+        require(not missing, f"items not in the index: {missing[:5]}")
+        rows = np.asarray(
+            [self._item_row[int(i)] for i in item_ids], dtype=np.int64
+        )
+        sub = object.__new__(SimilarityIndex)
+        sub.model = self.model
+        sub.mode = self.mode
+        sub._item_vids = self._item_vids[rows]
+        sub._item_ids = self._item_ids[rows]
+        sub._vid_row = {int(v): row for row, v in enumerate(sub._item_vids)}
+        sub._item_row = {int(i): row for row, i in enumerate(sub._item_ids)}
+        sub._queries = self._queries[rows]
+        sub._candidates = (
+            sub._queries if self._candidates is self._queries
+            else self._candidates[rows]
+        )
+        return sub
+
     @property
     def item_ids(self) -> np.ndarray:
         """Item ids covered by the index, in row order."""

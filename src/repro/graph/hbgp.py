@@ -95,6 +95,30 @@ class PartitionResult:
         ideal = total / self.n_partitions
         return float(self.partition_frequency.max()) / ideal
 
+    def serving_assignment(self) -> np.ndarray:
+        """Item -> partition map with every item assigned (no ``-1``).
+
+        Training can leave items that never appeared in a session
+        unassigned; a serving shard map must still own them so a shard
+        refresh knows where a late-listed item lives.  Unassigned items
+        go to ``item_id % n_partitions`` — deterministic, so dispatcher
+        and refresh pipeline agree without coordination.
+        """
+        assignment = self.item_partition.copy()
+        orphans = np.flatnonzero(assignment < 0)
+        if len(orphans):
+            assignment[orphans] = orphans % self.n_partitions
+        return assignment
+
+    def items_of(self, partition_id: int) -> np.ndarray:
+        """Item ids owned by ``partition_id`` under :meth:`serving_assignment`."""
+        require(
+            0 <= partition_id < self.n_partitions,
+            f"partition_id must be in [0, {self.n_partitions}),"
+            f" got {partition_id}",
+        )
+        return np.flatnonzero(self.serving_assignment() == partition_id)
+
 
 def _leaf_graph(
     graph: ItemGraph, item_leaf: np.ndarray, n_leaves: int

@@ -13,7 +13,13 @@ request-serving system:
 - :mod:`repro.serving.cache` / :mod:`repro.serving.metrics` — the hot
   path's cache and per-tier latency accounting;
 - :mod:`repro.serving.loadgen` — synthetic traffic replay with QPS and
-  tail-latency reporting.
+  tail-latency reporting;
+- :mod:`repro.serving.sharding` — HBGP-sharded serving: per-partition
+  stores that swap independently behind a scatter-gather dispatcher;
+- :mod:`repro.serving.parallel` — one worker process per shard (fork-
+  shared read-only arrays) so QPS scales past the GIL;
+- :mod:`repro.serving.eval` — serving-side HR@K (the evaluator routed
+  through a live service instead of the exact index).
 """
 
 from repro.serving.candidates import (
@@ -37,6 +43,15 @@ from repro.serving.store import (
     build_bundle,
     popularity_ranking,
 )
+from repro.serving.sharding import (
+    ShardedMatchingService,
+    ShardedModelStore,
+    build_shard_bundle,
+    build_shard_bundles,
+    merge_topk,
+)
+from repro.serving.parallel import ShardWorkerPool
+from repro.serving.eval import ServiceRecommender, evaluate_service_hitrate
 
 __all__ = [
     "CandidateTable",
@@ -57,4 +72,12 @@ __all__ = [
     "LoadMix",
     "run_load",
     "synth_requests",
+    "ShardedMatchingService",
+    "ShardedModelStore",
+    "ShardWorkerPool",
+    "build_shard_bundle",
+    "build_shard_bundles",
+    "merge_topk",
+    "ServiceRecommender",
+    "evaluate_service_hitrate",
 ]

@@ -77,12 +77,26 @@ class LRUTTLCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh ``key``, evicting the LRU entry on overflow."""
+        """Insert/refresh ``key``, evicting on overflow.
+
+        Overflow first purges *expired* entries (counted as expirations —
+        they are already dead, not victims) and only then falls back to
+        LRU eviction, so a stale entry can never push out a live one.
+        """
         now = self._clock()
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (now, value)
+            if len(self._entries) > self.maxsize and self.ttl is not None:
+                dead = [
+                    k
+                    for k, (stored_at, _value) in self._entries.items()
+                    if now - stored_at >= self.ttl
+                ]
+                for k in dead:
+                    del self._entries[k]
+                    self.expirations += 1
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1

@@ -74,6 +74,11 @@ class CandidateTable:
     def k(self) -> int:
         return self._candidates.shape[1]
 
+    @property
+    def item_ids(self) -> np.ndarray:
+        """Item ids the table can answer, in build (row) order."""
+        return self._items
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -158,15 +163,27 @@ def build_candidate_table(
     index: SimilarityIndex,
     dataset: BehaviorDataset,
     config: CandidateTableConfig | None = None,
+    items: np.ndarray | None = None,
 ) -> CandidateTable:
     """Materialize the candidate table from a retrieval index.
 
     Fetches ``k * fetch_factor`` raw neighbours per item, applies the
     diversity/score filters, and keeps the top ``k`` survivors.
+
+    ``items`` restricts the *rows* built (e.g. one HBGP shard's items);
+    candidates are still drawn from the full index, so a sharded table
+    answers exactly like the corresponding rows of a full build.
     """
     config = config or CandidateTableConfig()
     config.validate()
-    item_ids = index.item_ids
+    if items is None:
+        item_ids = index.item_ids
+    else:
+        item_ids = np.asarray(items, dtype=np.int64)
+        require(
+            all(int(i) in index for i in item_ids),
+            "table rows must be items of the index",
+        )
     k = config.k
     fetch = min(k * config.fetch_factor, max(index.n_items - 1, 1))
 

@@ -1,0 +1,182 @@
+"""Process-pool execution for sharded serving: one worker per shard.
+
+In-process sharding still funnels every request through one Python
+interpreter; past a point the dispatcher itself becomes the bottleneck.
+This module runs each shard's gather work in its own OS process:
+
+- Workers are started with the ``fork`` start method where available, so
+  each child inherits its shard's bundle — embedding matrices, IVF cells,
+  candidate table — as **shared read-only pages** (copy-on-write): no
+  serialization of the model at startup and no per-process copy of the
+  arrays as long as nobody writes to them.  On platforms without
+  ``fork`` the bundle is pickled to the child once at startup.
+- The dispatcher scatters a block of query vectors to every worker and
+  collects per-shard partial top-k lists; vectors and result blocks are
+  tiny compared to the arrays that stay put.
+- A hot swap ships the *new* bundle to the one affected worker; the
+  other workers never hear about it.
+
+Every pipe is guarded by a lock so concurrent request threads in the
+dispatcher can share the pool; per-shard requests serialize on the
+shard's single worker, which is the sharding contract anyway.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+
+from repro.serving.sharding import ShardedModelStore
+from repro.serving.store import ModelBundle
+from repro.utils import get_logger, require
+
+logger = get_logger("serving.parallel")
+
+
+def _shard_worker(conn, shard_id: int, bundle: ModelBundle) -> None:
+    """Worker loop: answer gather queries over this shard's live bundle."""
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        if op == "gather":
+            _op, vectors, k, n_probe, exclude_items = message
+            start = time.perf_counter()
+            ids, scores = bundle.ann.topk_by_vector_batch(
+                vectors, k, n_probe=n_probe, exclude_items=exclude_items
+            )
+            conn.send((ids, scores, time.perf_counter() - start))
+        elif op == "swap":
+            bundle = message[1]
+            conn.send(("swapped", bundle.version))
+        elif op == "ping":
+            conn.send(("pong", shard_id, bundle.version))
+        elif op == "stop":
+            conn.send(("stopped",))
+            break
+        else:  # pragma: no cover - defensive
+            conn.send(("error", f"unknown op {op!r}"))
+
+
+class ShardWorkerPool:
+    """One process per shard of a :class:`ShardedModelStore`.
+
+    Use as a context manager, or call :meth:`close` explicitly; worker
+    processes are daemonic so an abandoned pool cannot hang the
+    interpreter at exit.
+    """
+
+    def __init__(self, store: ShardedModelStore) -> None:
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        ctx = multiprocessing.get_context(method)
+        self._closed = False
+        self._conns = []
+        self._locks = []
+        self._processes = []
+        for shard in range(store.n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, shard, store.current(shard)),
+                daemon=True,
+                name=f"shard-worker-{shard}",
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._locks.append(threading.Lock())
+            self._processes.append(process)
+        logger.info(
+            "shard worker pool: %d processes (start method %s)",
+            store.n_shards,
+            ctx.get_start_method(),
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._processes)
+
+    def _call(self, shard_id: int, message: tuple):
+        with self._locks[shard_id]:
+            self._conns[shard_id].send(message)
+            return self._conns[shard_id].recv()
+
+    def scatter(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        n_probe: int | None,
+        exclude_items: np.ndarray,
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray]], list[float]]:
+        """Fan a query block out to every shard; collect partial top-k.
+
+        All sends go out before any receive, so shards compute
+        concurrently; returns ``(per-shard (ids, scores), per-shard
+        compute seconds)``.
+        """
+        require(not self._closed, "pool is closed")
+        message = ("gather", vectors, k, n_probe, exclude_items)
+        for shard in range(self.n_shards):
+            self._locks[shard].acquire()
+        try:
+            for conn in self._conns:
+                conn.send(message)
+            parts: list[tuple[np.ndarray, np.ndarray]] = []
+            timings: list[float] = []
+            for conn in self._conns:
+                ids, scores, elapsed = conn.recv()
+                parts.append((ids, scores))
+                timings.append(elapsed)
+        finally:
+            for shard in range(self.n_shards):
+                self._locks[shard].release()
+        return parts, timings
+
+    def swap(self, shard_id: int, bundle: ModelBundle) -> None:
+        """Ship a new bundle to one worker; others are untouched."""
+        require(not self._closed, "pool is closed")
+        reply = self._call(shard_id, ("swap", bundle))
+        require(reply[0] == "swapped", f"swap failed: {reply!r}")
+
+    def ping(self) -> list[int]:
+        """Round-trip every worker; returns each worker's bundle version."""
+        require(not self._closed, "pool is closed")
+        versions = []
+        for shard in range(self.n_shards):
+            reply = self._call(shard, ("ping",))
+            versions.append(int(reply[2]))
+        return versions
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard, (conn, process) in enumerate(
+            zip(self._conns, self._processes)
+        ):
+            try:
+                with self._locks[shard]:
+                    conn.send(("stop",))
+                    conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

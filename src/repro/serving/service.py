@@ -266,6 +266,16 @@ class MatchingService:
                 results[row] = result
         return results  # type: ignore[return-value]
 
+    def knows_item(self, item_id: int) -> bool:
+        """Whether ``item_id`` resolves through a warm tier (table or ANN).
+
+        The serving-side HR@K evaluator uses this as the answerability
+        test — items only reachable via popularity count as misses.
+        """
+        bundle = self._store.current()
+        item = int(item_id)
+        return item in bundle.table or item in bundle.ann
+
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------

@@ -1,0 +1,703 @@
+"""HBGP-sharded serving: per-partition stores behind a scatter-gather dispatcher.
+
+The paper partitions the item space with HBGP (Sec. III-B) so skip-gram
+work rarely crosses workers.  The same locality argument applies online:
+shard the serving artifacts by HBGP partition and a nightly refresh of
+one item shard never rebuilds — or blocks — the others, which a
+monolithic :class:`~repro.serving.store.ModelStore` swap cannot avoid
+once the corpus grows.
+
+Layout
+------
+
+- :func:`build_shard_bundle` materializes one partition's artifacts: the
+  partition's rows of the candidate table (candidates still drawn from
+  the *full* catalogue, so a sharded table answers exactly like the
+  corresponding rows of a monolithic build), a per-shard
+  :class:`~repro.core.similarity.SimilarityIndex` slice + IVF index, and
+  the partition's slice of the global popularity ranking.
+- :class:`ShardedModelStore` holds one double-buffered
+  :class:`~repro.serving.store.ModelStore` per partition plus the HBGP
+  ``item -> shard`` map; shards swap independently.
+- :class:`ShardedMatchingService` routes a request to its owning shard
+  (table tier — an O(1) local answer), and falls back to scatter-gather
+  for everything that needs retrieval over the full catalogue: table
+  misses, cold-start vectors, cross-shard requests.  Per-shard partial
+  top-k lists merge by score (all shards score against the same
+  normalized embedding space, so partial results are comparable).
+
+Scatter-gather merges break score ties by item id, matching the stable
+orderings of the unsharded tiers: with full table coverage and
+exhaustive ANN settings the dispatcher returns *identical* (ids, scores)
+to the unsharded :class:`~repro.serving.service.MatchingService`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ann import IVFIndex
+from repro.core.coldstart import cold_user_vector, infer_cold_item_vector
+from repro.core.model import EmbeddingModel
+from repro.core.similarity import SimilarityIndex
+from repro.data.schema import BehaviorDataset
+from repro.graph.hbgp import PartitionResult
+from repro.serving.cache import LRUTTLCache
+from repro.serving.candidates import CandidateTableConfig, build_candidate_table
+from repro.serving.metrics import ServingMetrics
+from repro.serving.service import (
+    MatchingServiceConfig,
+    MatchRequest,
+    MatchResult,
+)
+from repro.serving.store import (
+    ModelBundle,
+    ModelStore,
+    popularity_ranking,
+)
+from repro.utils import get_logger, require, require_positive
+
+logger = get_logger("serving.sharding")
+
+
+# ----------------------------------------------------------------------
+# per-shard bundle construction
+# ----------------------------------------------------------------------
+
+
+def build_shard_bundle(
+    model: EmbeddingModel,
+    dataset: BehaviorDataset,
+    shard_items: np.ndarray,
+    mode: str = "cosine",
+    table_config: CandidateTableConfig | None = None,
+    n_cells: int | None = None,
+    n_probe: int = 4,
+    max_popular: int | None = 1000,
+    table_coverage: float = 1.0,
+    seed: "int | np.random.Generator | None" = 0,
+    index: SimilarityIndex | None = None,
+) -> ModelBundle:
+    """Materialize the serving artifacts owned by one HBGP partition.
+
+    The expensive steps — top-k scans for the candidate-table rows and
+    the IVF k-means — touch only this shard's items, so one partition
+    refreshes without rebuilding the world.  Pass a prebuilt full
+    ``index`` to amortize vector normalization across shards when
+    building all of them at once.
+
+    ``table_coverage`` mirrors :func:`~repro.serving.store.build_bundle`:
+    the covered set is the first fraction of the *global* index order,
+    intersected with this shard, so the union of all shard tables equals
+    the monolithic table at the same coverage.
+    """
+    require(0.0 < table_coverage <= 1.0, "table_coverage must be in (0, 1]")
+    full = index if index is not None else SimilarityIndex(model, mode=mode)
+    shard_items = np.asarray(shard_items, dtype=np.int64)
+    shard_items = shard_items[np.isin(shard_items, full.item_ids)]
+    require(
+        len(shard_items) > 0,
+        "shard owns no trained items; check the partition map",
+    )
+
+    table_rows = shard_items
+    if table_coverage < 1.0:
+        covered = full.item_ids[
+            : max(1, int(full.n_items * table_coverage))
+        ]
+        table_rows = shard_items[np.isin(shard_items, covered)]
+    table = build_candidate_table(full, dataset, table_config, items=table_rows)
+
+    shard_index = full.restrict(shard_items)
+    cells = n_cells
+    if cells is not None:
+        cells = min(cells, shard_index.n_items)
+    ann = IVFIndex(shard_index, n_cells=cells, n_probe=n_probe, seed=seed)
+
+    # The shard's slice of the *global* click ranking: scores keep their
+    # global normalization so per-shard lists merge back into the global
+    # ordering by score alone.
+    popular_items, popular_scores = popularity_ranking(dataset, max_items=None)
+    mask = np.isin(popular_items, shard_items)
+    popular_items = popular_items[mask]
+    popular_scores = popular_scores[mask]
+    if max_popular is not None:
+        popular_items = popular_items[:max_popular]
+        popular_scores = popular_scores[:max_popular]
+
+    return ModelBundle(
+        version=0,
+        model=model,
+        index=shard_index,
+        ann=ann,
+        table=table,
+        popular_items=popular_items,
+        popular_scores=popular_scores,
+    )
+
+
+def build_shard_bundles(
+    model: EmbeddingModel,
+    dataset: BehaviorDataset,
+    partition: PartitionResult,
+    **build_kwargs,
+) -> tuple[list[ModelBundle], np.ndarray]:
+    """All shard bundles for ``partition`` plus the item -> shard map.
+
+    The full similarity index is built once and sliced per shard.
+    """
+    assignment = partition.serving_assignment()
+    index = SimilarityIndex(model, mode=build_kwargs.get("mode", "cosine"))
+    bundles = [
+        build_shard_bundle(
+            model,
+            dataset,
+            np.flatnonzero(assignment == shard),
+            index=index,
+            **build_kwargs,
+        )
+        for shard in range(partition.n_partitions)
+    ]
+    return bundles, assignment
+
+
+# ----------------------------------------------------------------------
+# the sharded store
+# ----------------------------------------------------------------------
+
+
+class ShardedModelStore:
+    """One double-buffered :class:`ModelStore` per HBGP partition.
+
+    Each shard swaps independently: refreshing one partition's artifacts
+    leaves every other shard's bundle (and any in-flight snapshot of it)
+    untouched.  ``snapshot()`` grabs one consistent view — a tuple of
+    per-shard bundles — which requests hold for their whole lifetime.
+    """
+
+    def __init__(
+        self, bundles: Sequence[ModelBundle], item_partition: np.ndarray
+    ) -> None:
+        require(len(bundles) > 0, "need at least one shard bundle")
+        item_partition = np.asarray(item_partition, dtype=np.int64)
+        require(
+            int(item_partition.max(initial=-1)) < len(bundles),
+            "item_partition references a shard with no bundle",
+        )
+        self._stores = [ModelStore(bundle) for bundle in bundles]
+        self._item_partition = item_partition
+
+    @classmethod
+    def build(
+        cls,
+        model: EmbeddingModel,
+        dataset: BehaviorDataset,
+        partition: PartitionResult,
+        **build_kwargs,
+    ) -> "ShardedModelStore":
+        """Build every shard of ``partition`` and stand up the store."""
+        bundles, assignment = build_shard_bundles(
+            model, dataset, partition, **build_kwargs
+        )
+        return cls(bundles, assignment)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._stores)
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    @property
+    def item_partition(self) -> np.ndarray:
+        """The item -> shard ownership map (read-only by convention)."""
+        return self._item_partition
+
+    @property
+    def versions(self) -> list[int]:
+        """Per-shard live bundle versions."""
+        return [store.version for store in self._stores]
+
+    def shard_of(self, item_id: int) -> int | None:
+        """Owning shard of ``item_id`` (``None`` for out-of-map ids)."""
+        item = int(item_id)
+        if 0 <= item < len(self._item_partition):
+            return int(self._item_partition[item])
+        return None
+
+    def current(self, shard_id: int) -> ModelBundle:
+        """The live bundle of one shard."""
+        return self._stores[shard_id].current()
+
+    def snapshot(self) -> tuple[ModelBundle, ...]:
+        """One consistent per-request view: every shard's live bundle."""
+        return tuple(store.current() for store in self._stores)
+
+    def swap_shard(self, shard_id: int, bundle: ModelBundle) -> ModelBundle:
+        """Install ``bundle`` as shard ``shard_id``'s live generation.
+
+        Other shards are untouched; returns the shard's old bundle.
+        """
+        old = self._stores[shard_id].swap(bundle)
+        logger.info(
+            "shard %d swapped v%d -> v%d (others untouched)",
+            shard_id,
+            old.version,
+            self._stores[shard_id].version,
+        )
+        return old
+
+    def refresh_shard(
+        self,
+        shard_id: int,
+        model: EmbeddingModel,
+        dataset: BehaviorDataset,
+        **build_kwargs,
+    ) -> ModelBundle:
+        """Rebuild one shard's artifacts and swap them in.
+
+        The expensive build touches only this shard's items and runs
+        outside every lock; only the shard's pointer flip is serialized.
+        """
+        shard_items = np.flatnonzero(self._item_partition == shard_id)
+        bundle = build_shard_bundle(model, dataset, shard_items, **build_kwargs)
+        return self.swap_shard(shard_id, bundle)
+
+
+# ----------------------------------------------------------------------
+# the dispatcher
+# ----------------------------------------------------------------------
+
+
+def merge_topk(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    k: int,
+    exclude_item: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard partial top-k lists into one global top-k.
+
+    Pads (``id < 0`` / NaN score) are dropped; ties break by item id,
+    matching the stable orderings of the unsharded tiers.
+    """
+    require_positive(k, "k")
+    ids = np.concatenate([np.asarray(p[0]).ravel() for p in parts])
+    scores = np.concatenate([np.asarray(p[1]).ravel() for p in parts])
+    valid = (ids >= 0) & np.isfinite(scores)
+    if exclude_item is not None:
+        valid &= ids != int(exclude_item)
+    ids, scores = ids[valid], scores[valid]
+    order = np.lexsort((ids, -scores))[:k]
+    return ids[order].astype(np.int64), scores[order]
+
+
+class ShardedMatchingService:
+    """Scatter-gather request router over a :class:`ShardedModelStore`.
+
+    Routing, cheapest path first:
+
+    1. a warm item is sent to its owning shard; a candidate-table hit is
+       answered locally (O(1), identical to the unsharded table tier);
+    2. a table miss on a trained item scatters the item's query vector
+       to *all* shards and merges per-shard ANN top-k by score;
+    3. cold items (Eq. 6) and cold users (user-type averaging) scatter
+       their inferred vector the same way;
+    4. popularity merges the per-shard slices of the global click
+       ranking.
+
+    Results are cached keyed by the *owning shard's* version for table
+    hits — so refreshing shard A leaves shard B's cached answers warm —
+    and by the full version vector for scattered requests.
+
+    Parameters
+    ----------
+    store:
+        The sharded store; each request snapshots every shard once.
+    config:
+        Same knobs as the unsharded service.
+    pool:
+        Optional :class:`~repro.serving.parallel.ShardWorkerPool`; when
+        given, gather work runs one-process-per-shard so throughput
+        scales past the GIL.  Swap shards through :meth:`swap_shard` so
+        the worker processes stay in sync with the store.
+    """
+
+    def __init__(
+        self,
+        store: ShardedModelStore,
+        config: MatchingServiceConfig | None = None,
+        cache: LRUTTLCache | None = None,
+        metrics: ServingMetrics | None = None,
+        pool=None,
+    ) -> None:
+        self._config = config or MatchingServiceConfig()
+        self._config.validate()
+        self._store = store
+        if cache is None and self._config.cache_size > 0:
+            cache = LRUTTLCache(
+                maxsize=self._config.cache_size, ttl=self._config.cache_ttl
+            )
+        self._cache = cache
+        self._metrics = metrics or ServingMetrics()
+        self._shard_metrics = [ServingMetrics() for _ in range(store.n_shards)]
+        self._pool = pool
+
+    @property
+    def store(self) -> ShardedModelStore:
+        return self._store
+
+    @property
+    def cache(self) -> LRUTTLCache | None:
+        return self._cache
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        return self._metrics
+
+    @property
+    def shard_metrics(self) -> list[ServingMetrics]:
+        """Per-shard metrics (gather latency, local table traffic)."""
+        return self._shard_metrics
+
+    def close(self) -> None:
+        """Shut down the worker pool, if any."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedMatchingService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # swaps
+    # ------------------------------------------------------------------
+
+    def swap_shard(self, shard_id: int, bundle: ModelBundle) -> ModelBundle:
+        """Swap one shard in the store *and* its worker process."""
+        old = self._store.swap_shard(shard_id, bundle)
+        self._metrics.incr("swaps")
+        if self._pool is not None:
+            self._pool.swap(shard_id, self._store.current(shard_id))
+        return old
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    def recommend(
+        self, request: "MatchRequest | int", k: int | None = None
+    ) -> MatchResult:
+        """Resolve one request through routing + scatter-gather."""
+        request = self._normalize(request)
+        k = self._config.default_k if k is None else k
+        require_positive(k, "k")
+        self._metrics.incr("requests")
+        bundles = self._store.snapshot()
+
+        key = self._cache_key(bundles, request, k)
+        if self._cache is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._metrics.incr("cache_hit")
+                return MatchResult(
+                    hit.items, hit.scores, hit.tier, hit.version, cached=True
+                )
+            self._metrics.incr("cache_miss")
+
+        start = time.perf_counter()
+        try:
+            items, scores, tier, version = self._resolve(bundles, request, k)
+        except Exception:
+            self._metrics.incr("errors")
+            raise
+        latency = time.perf_counter() - start
+        self._metrics.observe(tier, latency)
+        result = MatchResult(items, scores, tier, version, False, latency)
+        if self._cache is not None:
+            self._cache.put(key, result)
+        return result
+
+    def recommend_batch(
+        self, requests: "list[MatchRequest | int]", k: int | None = None
+    ) -> list[MatchResult]:
+        """Resolve many requests, micro-batching the scatter-gather work.
+
+        Table hits, cache hits and popularity requests resolve
+        individually (they are O(1)); every request that needs vector
+        retrieval is collected and answered with *one*
+        ``topk_by_vector_batch`` call per shard — one scatter for the
+        whole batch instead of per-request fan-outs.
+        """
+        k = self._config.default_k if k is None else k
+        require_positive(k, "k")
+        bundles = self._store.snapshot()
+        requests = [self._normalize(r) for r in requests]
+        results: list[MatchResult | None] = [None] * len(requests)
+        gather_rows: list[int] = []
+        gather_vectors: list[np.ndarray] = []
+        gather_excludes: list[int] = []
+        gather_tiers: list[str] = []
+
+        for row, request in enumerate(requests):
+            self._metrics.incr("requests")
+            key = self._cache_key(bundles, request, k)
+            if self._cache is not None:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._metrics.incr("cache_hit")
+                    results[row] = MatchResult(
+                        hit.items, hit.scores, hit.tier, hit.version, cached=True
+                    )
+                    continue
+                self._metrics.incr("cache_miss")
+            plan = self._plan(bundles, request)
+            if plan is None:
+                results[row] = self._resolve_and_record(bundles, request, k)
+            else:
+                vector, exclude, tier = plan
+                gather_rows.append(row)
+                gather_vectors.append(vector)
+                gather_excludes.append(exclude)
+                gather_tiers.append(tier)
+
+        if gather_rows:
+            vectors = np.stack(gather_vectors)
+            excludes = np.asarray(gather_excludes, dtype=np.int64)
+            start = time.perf_counter()
+            parts = self._scatter(bundles, vectors, k, excludes)
+            per_request = (time.perf_counter() - start) / len(gather_rows)
+            version = max(bundle.version for bundle in bundles)
+            for out_row, row in enumerate(gather_rows):
+                items, scores = merge_topk(
+                    [(ids[out_row], sc[out_row]) for ids, sc in parts],
+                    k,
+                    exclude_item=(
+                        int(excludes[out_row]) if excludes[out_row] >= 0 else None
+                    ),
+                )
+                tier = gather_tiers[out_row]
+                self._metrics.observe(tier, per_request)
+                result = MatchResult(
+                    items, scores, tier, version, False, per_request
+                )
+                if self._cache is not None:
+                    self._cache.put(
+                        self._cache_key(bundles, requests[row], k), result
+                    )
+                results[row] = result
+        return results  # type: ignore[return-value]
+
+    def knows_item(self, item_id: int) -> bool:
+        """Whether ``item_id`` resolves through a warm tier on any shard."""
+        item = int(item_id)
+        shard = self._store.shard_of(item)
+        if shard is None:
+            return False
+        bundle = self._store.current(shard)
+        return item in bundle.table or item in bundle.ann
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Dispatcher metrics plus per-shard state in one dict.
+
+        Shape matches :meth:`MatchingService.snapshot` (``counters``,
+        ``cache_hit_rate``, ``tiers``, ``cache``, ``store_version``) with
+        an extra ``shards`` list aggregating per-shard metrics.
+        """
+        snap = self._metrics.snapshot()
+        snap["store_version"] = self._store.versions
+        snap["cache"] = self._cache.stats() if self._cache is not None else None
+        snap["shards"] = [
+            {"shard": shard, **metrics.snapshot()}
+            for shard, metrics in enumerate(self._shard_metrics)
+        ]
+        snap["n_shards"] = self._store.n_shards
+        return snap
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize(request: "MatchRequest | int") -> MatchRequest:
+        if isinstance(request, MatchRequest):
+            return request
+        return MatchRequest(item_id=int(request))
+
+    @staticmethod
+    def _freshest_model(bundles: tuple[ModelBundle, ...]) -> EmbeddingModel:
+        """Cold-start vectors come from the newest generation's model.
+
+        Shards can run mixed generations after a partial refresh; cold
+        requests have no owning shard, so the freshest model wins.
+        """
+        return max(bundles, key=lambda bundle: bundle.version).model
+
+    def _cache_key(
+        self, bundles: tuple[ModelBundle, ...], request: MatchRequest, k: int
+    ) -> tuple:
+        """Version-scoped cache key.
+
+        Table hits depend only on the owning shard's generation, so a
+        swap of shard A does not cold-start shard B's cached answers;
+        anything scattered depends on every shard's generation.
+        """
+        if request.item_id is not None:
+            item = int(request.item_id)
+            shard = self._store.shard_of(item)
+            if shard is not None and item in bundles[shard].table:
+                return ("shard", shard, bundles[shard].version, k, request.cache_key())
+        return ("all", tuple(b.version for b in bundles), k, request.cache_key())
+
+    def _plan(
+        self, bundles: tuple[ModelBundle, ...], request: MatchRequest
+    ) -> "tuple[np.ndarray, int, str] | None":
+        """Decide whether a request needs scatter-gather.
+
+        Returns ``(query_vector, exclude_item, tier)`` for requests that
+        gather across shards, or ``None`` for locally resolvable ones
+        (table hit, popularity).
+        """
+        if request.item_id is not None:
+            item = int(request.item_id)
+            shard = self._store.shard_of(item)
+            if shard is not None:
+                bundle = bundles[shard]
+                if item in bundle.table and len(bundle.table.topk(item, 1)[0]):
+                    return None
+                if item in bundle.index:
+                    return bundle.index.query_vector(item), item, "ann"
+        if request.si_values:
+            try:
+                vector = infer_cold_item_vector(
+                    self._freshest_model(bundles), request.si_values
+                )
+            except ValueError:
+                pass
+            else:
+                return vector, -1, "cold_item"
+        if request.has_demographics:
+            try:
+                vector = cold_user_vector(
+                    self._freshest_model(bundles),
+                    gender=request.gender,
+                    age_bucket=request.age_bucket,
+                    purchase_power=request.purchase_power,
+                )
+            except ValueError:
+                pass
+            else:
+                return vector, -1, "cold_user"
+        return None
+
+    def _resolve_and_record(
+        self, bundles: tuple[ModelBundle, ...], request: MatchRequest, k: int
+    ) -> MatchResult:
+        start = time.perf_counter()
+        try:
+            items, scores, tier, version = self._resolve(bundles, request, k)
+        except Exception:
+            self._metrics.incr("errors")
+            raise
+        latency = time.perf_counter() - start
+        self._metrics.observe(tier, latency)
+        result = MatchResult(items, scores, tier, version, False, latency)
+        if self._cache is not None:
+            self._cache.put(self._cache_key(bundles, request, k), result)
+        return result
+
+    def _resolve(
+        self, bundles: tuple[ModelBundle, ...], request: MatchRequest, k: int
+    ) -> tuple[np.ndarray, np.ndarray, str, int]:
+        if request.item_id is not None:
+            item = int(request.item_id)
+            shard = self._store.shard_of(item)
+            if shard is not None:
+                bundle = bundles[shard]
+                if item in bundle.table:
+                    start = time.perf_counter()
+                    items, scores = bundle.table.topk(item, k)
+                    if len(items):
+                        self._shard_metrics[shard].incr("table_hits")
+                        self._shard_metrics[shard].observe(
+                            "table", time.perf_counter() - start
+                        )
+                        return items, scores, "table", bundle.version
+
+        plan = self._plan(bundles, request)
+        if plan is not None:
+            vector, exclude, tier = plan
+            parts = self._scatter(
+                bundles,
+                vector[None, :],
+                k,
+                np.asarray([exclude], dtype=np.int64),
+            )
+            items, scores = merge_topk(
+                [(ids[0], sc[0]) for ids, sc in parts],
+                k,
+                exclude_item=exclude if exclude >= 0 else None,
+            )
+            version = max(bundle.version for bundle in bundles)
+            return items, scores, tier, version
+
+        return self._popularity(bundles, request, k)
+
+    def _scatter(
+        self,
+        bundles: tuple[ModelBundle, ...],
+        vectors: np.ndarray,
+        k: int,
+        exclude_items: np.ndarray,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Query every shard with the same vector block; collect partials.
+
+        With a worker pool, shards compute in their own processes in
+        parallel; otherwise they are queried in-process, one after the
+        other (numpy releases the GIL inside the matrix products, so
+        threads calling ``recommend`` concurrently still overlap).
+        """
+        if self._pool is not None:
+            parts, timings = self._pool.scatter(
+                vectors, k, self._config.n_probe, exclude_items
+            )
+            for shard, elapsed in enumerate(timings):
+                self._shard_metrics[shard].incr("gathers")
+                self._shard_metrics[shard].observe("gather", elapsed)
+            return parts
+        parts = []
+        for shard, bundle in enumerate(bundles):
+            start = time.perf_counter()
+            parts.append(
+                bundle.ann.topk_by_vector_batch(
+                    vectors,
+                    k,
+                    n_probe=self._config.n_probe,
+                    exclude_items=exclude_items,
+                )
+            )
+            self._shard_metrics[shard].incr("gathers")
+            self._shard_metrics[shard].observe(
+                "gather", time.perf_counter() - start
+            )
+        return parts
+
+    def _popularity(
+        self, bundles: tuple[ModelBundle, ...], request: MatchRequest, k: int
+    ) -> tuple[np.ndarray, np.ndarray, str, int]:
+        exclude = int(request.item_id) if request.item_id is not None else None
+        items, scores = merge_topk(
+            [(b.popular_items, b.popular_scores) for b in bundles],
+            k,
+            exclude_item=exclude,
+        )
+        version = max(bundle.version for bundle in bundles)
+        return items, scores, "popularity", version

@@ -72,10 +72,13 @@ def popularity_ranking(
     with no usable SI, demographics outside every trained user type),
     serving *something* plausible beats serving nothing.
     """
-    counts = np.zeros(dataset.n_items, dtype=np.int64)
-    for session in dataset.sessions:
-        for item_id in session.items:
-            counts[item_id] += 1
+    if dataset.sessions:
+        clicks = np.concatenate(
+            [np.asarray(session.items, dtype=np.int64) for session in dataset.sessions]
+        )
+        counts = np.bincount(clicks, minlength=dataset.n_items).astype(np.int64)
+    else:
+        counts = np.zeros(dataset.n_items, dtype=np.int64)
     order = np.argsort(-counts, kind="stable")
     if max_items is not None:
         order = order[:max_items]
@@ -110,7 +113,10 @@ def build_bundle(
     ann = IVFIndex(index, n_cells=n_cells, n_probe=n_probe, seed=seed)
     table = build_candidate_table(index, dataset, table_config)
     if table_coverage < 1.0:
-        covered = index.item_ids[: max(1, int(len(table) * table_coverage))]
+        # The cut must come from the table's *own* item ordering — slicing
+        # `index.item_ids` by `len(table)` mixes two orderings and can
+        # select items the table never materialized.
+        covered = table.item_ids[: max(1, int(len(table) * table_coverage))]
         table = table.subset(covered)
     popular_items, popular_scores = popularity_ranking(dataset, max_popular)
     return ModelBundle(

@@ -78,6 +78,32 @@ class TestIncrementalUpdate:
             hits += same_leaf >= 5
         assert hits >= 2
 
+    def test_warm_start_initializer_matches_cold_start(
+        self, two_days, day1_model, monkeypatch
+    ):
+        """Regression: the SI warm start is Eq. 6's *sum*, not a mean.
+
+        With training disabled, a new item's initial vector must equal
+        exactly what `infer_cold_item_vector` would answer for its SI —
+        the warm-started item enters the space where cold-start retrieval
+        already places it.
+        """
+        from repro.core import incremental as incremental_module
+        from repro.core.coldstart import infer_cold_item_vector
+
+        monkeypatch.setattr(
+            incremental_module.SGNSTrainer,
+            "fit",
+            lambda self, *args, **kwargs: self,
+        )
+        _day1, day2, clones = two_days
+        updated = incremental_update(day1_model, day2, CONT_CFG)
+        for new_id, _base in clones:
+            expected = infer_cold_item_vector(
+                day1_model, day2.items[new_id].si_values
+            )
+            np.testing.assert_allclose(updated.item_vector(new_id), expected)
+
     def test_previous_model_not_mutated(self, two_days, day1_model):
         _day1, day2, _clones = two_days
         before = day1_model.w_in.copy()

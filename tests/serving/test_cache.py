@@ -89,6 +89,26 @@ class TestTTL:
         clock.advance(1e9)
         assert cache.get("a") == 1
 
+    def test_overflow_purges_expired_before_evicting_live(self):
+        """Regression: a stale MRU entry must never push out a live LRU one.
+
+        ``a`` is expired but most-recently-used; ``b`` is live but LRU.
+        Overflow must drop ``a`` (an expiration), not evict ``b``.
+        """
+        clock = FakeClock()
+        cache = LRUTTLCache(maxsize=2, ttl=12.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(5.0)
+        cache.put("b", 2)
+        cache.get("a")  # touch a: recency order is now [b, a]
+        clock.advance(11.0)  # a is 16s old (dead), b is 11s old (live)
+        cache.put("c", 3)
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+
 
 class TestAccounting:
     def test_hit_miss_counters(self):

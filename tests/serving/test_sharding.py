@@ -1,0 +1,416 @@
+"""Tests for HBGP-sharded serving: bundles, dispatcher, worker pool."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph.hbgp import HBGPConfig, PartitionResult, hbgp_partition
+from repro.serving import (
+    MatchingService,
+    MatchingServiceConfig,
+    MatchRequest,
+    ModelStore,
+    ShardedMatchingService,
+    ShardedModelStore,
+    ShardWorkerPool,
+    build_bundle,
+    build_shard_bundle,
+    build_shard_bundles,
+    evaluate_service_hitrate,
+    merge_topk,
+)
+
+N_SHARDS = 3
+K = 10
+
+
+@pytest.fixture(scope="module")
+def partition(tiny_split):
+    train, _ = tiny_split
+    return hbgp_partition(train, HBGPConfig(n_partitions=N_SHARDS))
+
+
+@pytest.fixture(scope="module")
+def exact_flat_bundle(fitted_sisg, tiny_split):
+    """Monolithic bundle with exhaustive settings (the equivalence oracle)."""
+    train, _ = tiny_split
+    return build_bundle(
+        fitted_sisg.model, train, n_cells=1, table_coverage=1.0, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def exact_shard_store(fitted_sisg, tiny_split, partition):
+    """Sharded store built with the same exhaustive settings."""
+    train, _ = tiny_split
+    return ShardedModelStore.build(
+        fitted_sisg.model, train, partition, n_cells=1, table_coverage=1.0, seed=0
+    )
+
+
+def fresh_pair(exact_flat_bundle, exact_shard_store):
+    """Fresh (unsharded, sharded) services over the shared builds."""
+    config = MatchingServiceConfig(default_k=K, cache_size=0)
+    unsharded = MatchingService(ModelStore(exact_flat_bundle), config)
+    sharded = ShardedMatchingService(exact_shard_store, config)
+    return unsharded, sharded
+
+
+def request_mix(train) -> list:
+    """One request per routing path, plus a warm item per shard."""
+    return [
+        MatchRequest(item_id=0),
+        MatchRequest(item_id=train.n_items // 2),
+        MatchRequest(item_id=train.n_items - 1),
+        MatchRequest(si_values=dict(train.items[3].si_values)),
+        MatchRequest(gender="F", age_bucket="25-30"),
+        MatchRequest(gender="M", purchase_power="high"),
+        MatchRequest(item_id=10**9),  # unknown -> popularity
+    ]
+
+
+class TestMergeTopk:
+    def test_merges_by_score(self):
+        parts = [
+            (np.array([1, 2]), np.array([0.9, 0.2])),
+            (np.array([3, 4]), np.array([0.5, 0.1])),
+        ]
+        items, scores = merge_topk(parts, 3)
+        np.testing.assert_array_equal(items, [1, 3, 2])
+        np.testing.assert_allclose(scores, [0.9, 0.5, 0.2])
+
+    def test_drops_pads_and_nan(self):
+        parts = [
+            (np.array([1, -1]), np.array([0.9, np.nan])),
+            (np.array([2, -1]), np.array([np.nan, np.nan])),
+        ]
+        items, scores = merge_topk(parts, 5)
+        np.testing.assert_array_equal(items, [1])
+
+    def test_ties_break_by_item_id(self):
+        parts = [
+            (np.array([7, 3]), np.array([0.5, 0.5])),
+            (np.array([5]), np.array([0.5])),
+        ]
+        items, _ = merge_topk(parts, 3)
+        np.testing.assert_array_equal(items, [3, 5, 7])
+
+    def test_excludes_item(self):
+        parts = [(np.array([1, 2, 3]), np.array([0.9, 0.8, 0.7]))]
+        items, _ = merge_topk(parts, 3, exclude_item=1)
+        np.testing.assert_array_equal(items, [2, 3])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            merge_topk([(np.array([1]), np.array([0.5]))], 0)
+
+
+class TestShardBundles:
+    def test_tables_partition_the_catalogue(self, exact_shard_store):
+        """Shard tables are disjoint and union to the full item set."""
+        seen: list[int] = []
+        for shard in range(exact_shard_store.n_shards):
+            seen.extend(
+                int(i) for i in exact_shard_store.current(shard).table.item_ids
+            )
+        assert len(seen) == len(set(seen))
+        n_items = len(exact_shard_store.item_partition)
+        assert set(seen) == set(range(n_items))
+
+    def test_rows_match_monolithic_table(
+        self, exact_flat_bundle, exact_shard_store
+    ):
+        """A shard's table row is exactly the monolithic table's row."""
+        for shard in range(exact_shard_store.n_shards):
+            table = exact_shard_store.current(shard).table
+            for item in table.item_ids[:5]:
+                got_ids, got_scores = table.topk(int(item), K)
+                want_ids, want_scores = exact_flat_bundle.table.topk(int(item), K)
+                np.testing.assert_array_equal(got_ids, want_ids)
+                np.testing.assert_allclose(got_scores, want_scores)
+
+    def test_coverage_union_matches_monolithic(self, fitted_sisg, tiny_split, partition):
+        """Partial coverage: union of shard tables == monolithic table.
+
+        Regression for the coverage cut: it must be taken in one global
+        ordering and intersected per shard, not recomputed per shard.
+        """
+        train, _ = tiny_split
+        coverage = 0.7
+        flat = build_bundle(
+            fitted_sisg.model, train, n_cells=1, table_coverage=coverage, seed=0
+        )
+        bundles, _assignment = build_shard_bundles(
+            fitted_sisg.model, train, partition,
+            n_cells=1, table_coverage=coverage, seed=0,
+        )
+        union = {int(i) for b in bundles for i in b.table.item_ids}
+        assert union == {int(i) for i in flat.table.item_ids}
+
+    def test_popularity_slices_merge_to_global(
+        self, exact_flat_bundle, exact_shard_store
+    ):
+        """Per-shard popularity slices merge back into the global ranking."""
+        bundles = exact_shard_store.snapshot()
+        merged_items, merged_scores = merge_topk(
+            [(b.popular_items, b.popular_scores) for b in bundles], 20
+        )
+        flat_items = exact_flat_bundle.popular_items[:20]
+        flat_scores = exact_flat_bundle.popular_scores[:20]
+        # The global ranking is stable-argsort (id-ascending on count
+        # ties), which is exactly merge_topk's tie rule.
+        np.testing.assert_array_equal(merged_items, flat_items)
+        np.testing.assert_allclose(merged_scores, flat_scores)
+
+    def test_empty_shard_rejected(self, fitted_sisg, tiny_split):
+        train, _ = tiny_split
+        with pytest.raises(ValueError):
+            build_shard_bundle(
+                fitted_sisg.model, train, np.array([], dtype=np.int64)
+            )
+
+    def test_serving_assignment_owns_every_item(self, partition):
+        assignment = partition.serving_assignment()
+        assert np.all(assignment >= 0)
+        assert np.all(assignment < partition.n_partitions)
+
+    def test_serving_assignment_maps_orphans_deterministically(self):
+        result = PartitionResult(
+            item_partition=np.array([0, -1, 1, -1, -1]),
+            leaf_partition=np.array([0, 1]),
+            partition_frequency=np.array([3.0, 2.0]),
+            cut_weight=0.0,
+            total_weight=1.0,
+        )
+        assignment = result.serving_assignment()
+        np.testing.assert_array_equal(assignment, [0, 1, 1, 1, 0])
+        np.testing.assert_array_equal(result.items_of(0), [0, 4])
+
+
+class TestRoutingEquivalence:
+    def test_scatter_gather_matches_unsharded(
+        self, tiny_split, exact_flat_bundle, exact_shard_store
+    ):
+        """Full coverage + exhaustive ANN: identical (ids, scores, tier)."""
+        train, _ = tiny_split
+        unsharded, sharded = fresh_pair(exact_flat_bundle, exact_shard_store)
+        for request in request_mix(train):
+            want = unsharded.recommend(request, K)
+            got = sharded.recommend(request, K)
+            assert got.tier == want.tier, request
+            np.testing.assert_array_equal(got.items, want.items)
+            np.testing.assert_allclose(got.scores, want.scores)
+
+    def test_batch_matches_single(
+        self, tiny_split, exact_flat_bundle, exact_shard_store
+    ):
+        train, _ = tiny_split
+        _unsharded, sharded = fresh_pair(exact_flat_bundle, exact_shard_store)
+        requests = request_mix(train)
+        batched = sharded.recommend_batch(requests, K)
+        for request, from_batch in zip(requests, batched):
+            single = sharded.recommend(request, K)
+            assert from_batch.tier == single.tier
+            np.testing.assert_array_equal(from_batch.items, single.items)
+            np.testing.assert_allclose(from_batch.scores, single.scores)
+
+    def test_partial_coverage_ann_tier_matches(
+        self, fitted_sisg, tiny_split, partition
+    ):
+        """Uncovered items scatter to the ANN tier and still match."""
+        train, _ = tiny_split
+        config = MatchingServiceConfig(default_k=K, cache_size=0)
+        flat = build_bundle(
+            fitted_sisg.model, train, n_cells=1, table_coverage=0.8, seed=0
+        )
+        unsharded = MatchingService(ModelStore(flat), config)
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition,
+            n_cells=1, table_coverage=0.8, seed=0,
+        )
+        sharded = ShardedMatchingService(store, config)
+        uncovered = [
+            int(i) for i in flat.index.item_ids if int(i) not in flat.table
+        ][:8]
+        assert uncovered
+        for item in uncovered:
+            want = unsharded.recommend(item, K)
+            got = sharded.recommend(item, K)
+            assert want.tier == got.tier == "ann"
+            np.testing.assert_array_equal(got.items, want.items)
+            np.testing.assert_allclose(got.scores, want.scores)
+
+    def test_knows_item(self, tiny_split, exact_flat_bundle, exact_shard_store):
+        train, _ = tiny_split
+        _unsharded, sharded = fresh_pair(exact_flat_bundle, exact_shard_store)
+        assert sharded.knows_item(0)
+        assert not sharded.knows_item(train.n_items + 50)
+        assert not sharded.knows_item(10**9)
+
+    def test_serving_hitrate_matches_unsharded(
+        self, tiny_split, exact_flat_bundle, exact_shard_store
+    ):
+        """Serving-side HR@K through the dispatcher == unsharded HR@K."""
+        _train, test = tiny_split
+        unsharded, sharded = fresh_pair(exact_flat_bundle, exact_shard_store)
+        flat_hr = evaluate_service_hitrate(unsharded, test, ks=(5, 10))
+        shard_hr = evaluate_service_hitrate(sharded, test, ks=(5, 10))
+        assert shard_hr.hit_rates == flat_hr.hit_rates
+        assert 0.0 <= shard_hr.hit_rates[10] <= 1.0
+
+
+class TestShardSwaps:
+    def make_service(self, store, cache_size=256):
+        return ShardedMatchingService(
+            store, MatchingServiceConfig(default_k=K, cache_size=cache_size)
+        )
+
+    def test_swap_touches_one_shard(self, fitted_sisg, tiny_split, partition):
+        train, _ = tiny_split
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition, n_cells=1, seed=0
+        )
+        before = store.snapshot()
+        store.refresh_shard(0, fitted_sisg.model, train, n_cells=1, seed=1)
+        after = store.snapshot()
+        assert store.versions == [1, 0, 0]
+        assert after[0] is not before[0]
+        for shard in range(1, store.n_shards):
+            assert after[shard] is before[shard]
+
+    def test_table_cache_survives_other_shards_swap(
+        self, fitted_sisg, tiny_split, partition
+    ):
+        """Swapping shard 0 must not cold-start shard 1's cached answers."""
+        train, _ = tiny_split
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition, n_cells=1, seed=0
+        )
+        service = self.make_service(store)
+        other_item = int(store.current(1).table.item_ids[0])
+        service.recommend(other_item, K)
+        service.swap_shard(0, store.current(0))
+        assert service.recommend(other_item, K).cached
+
+    def test_scattered_cache_invalidated_by_any_swap(
+        self, fitted_sisg, tiny_split, partition
+    ):
+        train, _ = tiny_split
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition, n_cells=1, seed=0
+        )
+        service = self.make_service(store)
+        cold = MatchRequest(si_values=dict(train.items[3].si_values))
+        service.recommend(cold, K)
+        assert service.recommend(cold, K).cached
+        service.swap_shard(2, store.current(2))
+        assert not service.recommend(cold, K).cached
+
+    def test_swap_under_concurrent_requests(
+        self, fitted_sisg, tiny_split, partition
+    ):
+        """Hammer shards 1+2 while shard 0 swaps repeatedly: no failures,
+        other shards' generations and answers untouched."""
+        train, _ = tiny_split
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition, n_cells=1, seed=0
+        )
+        service = self.make_service(store, cache_size=0)
+        probes = [
+            int(store.current(shard).table.item_ids[0]) for shard in (1, 2)
+        ]
+        baseline = {
+            item: service.recommend(item, K).items.copy() for item in probes
+        }
+        replacement = store.current(0)
+        failures: list[Exception] = []
+        stop = threading.Event()
+
+        def hammer(item: int) -> None:
+            while not stop.is_set():
+                try:
+                    result = service.recommend(item, K)
+                    np.testing.assert_array_equal(result.items, baseline[item])
+                    assert result.version == 0  # owning shard never swapped
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in probes]
+        for thread in threads:
+            thread.start()
+        for _ in range(20):
+            service.swap_shard(0, replacement)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert store.versions[0] == 20
+        assert store.versions[1:] == [0, 0]
+
+
+class TestWorkerPool:
+    def test_pool_matches_serial(
+        self, tiny_split, exact_flat_bundle, exact_shard_store
+    ):
+        train, _ = tiny_split
+        config = MatchingServiceConfig(default_k=K, cache_size=0)
+        serial = ShardedMatchingService(exact_shard_store, config)
+        with ShardWorkerPool(exact_shard_store) as pool:
+            pooled = ShardedMatchingService(exact_shard_store, config, pool=pool)
+            for request in request_mix(train):
+                want = serial.recommend(request, K)
+                got = pooled.recommend(request, K)
+                assert got.tier == want.tier
+                np.testing.assert_array_equal(got.items, want.items)
+                np.testing.assert_allclose(got.scores, want.scores)
+
+    def test_swap_reaches_worker(self, fitted_sisg, tiny_split, partition):
+        train, _ = tiny_split
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition, n_cells=1, seed=0
+        )
+        with ShardWorkerPool(store) as pool:
+            service = ShardedMatchingService(store, pool=pool)
+            assert pool.ping() == [0, 0, 0]
+            service.swap_shard(1, store.current(1))
+            assert pool.ping() == store.versions == [0, 1, 0]
+            # The swapped worker still answers.
+            item = int(store.current(1).table.item_ids[0])
+            assert len(service.recommend(item, K).items)
+
+    def test_close_is_idempotent(self, exact_shard_store):
+        pool = ShardWorkerPool(exact_shard_store)
+        pool.close()
+        pool.close()
+        with pytest.raises(ValueError):
+            pool.ping()
+
+    def test_service_close_shuts_pool(self, exact_shard_store):
+        pool = ShardWorkerPool(exact_shard_store)
+        with ShardedMatchingService(exact_shard_store, pool=pool):
+            pass
+        with pytest.raises(ValueError):
+            pool.ping()
+
+
+class TestObservability:
+    def test_snapshot_shape(self, tiny_split, exact_flat_bundle, exact_shard_store):
+        train, _ = tiny_split
+        _unsharded, sharded = fresh_pair(exact_flat_bundle, exact_shard_store)
+        for request in request_mix(train):
+            sharded.recommend(request, K)
+        snap = sharded.snapshot()
+        assert snap["n_shards"] == N_SHARDS
+        assert snap["store_version"] == [0] * N_SHARDS
+        assert len(snap["shards"]) == N_SHARDS
+        assert snap["counters"]["requests"] == len(request_mix(train))
+        table_hits = sum(
+            shard["counters"].get("table_hits", 0) for shard in snap["shards"]
+        )
+        assert table_hits == 3  # the three warm items, each on its shard
+        gathers = sum(
+            shard["counters"].get("gathers", 0) for shard in snap["shards"]
+        )
+        assert gathers == 3 * N_SHARDS  # cold item + 2 cold users scatter

@@ -52,6 +52,30 @@ class TestBuildBundle:
         ]
         assert uncovered and all(i in serving_bundle.ann for i in uncovered)
 
+    def test_partial_coverage_cut_follows_table_order(self, fitted_sisg, tiny_split):
+        """Regression: the coverage cut comes from the *table's* row order.
+
+        Slicing ``index.item_ids`` instead can pick items the table never
+        materialized; the covered set must be a prefix of the full
+        table's own rows, with rows identical to the full build.
+        """
+        train, _ = tiny_split
+        full = build_bundle(
+            fitted_sisg.model, train, n_cells=8, table_coverage=1.0, seed=0
+        )
+        partial = build_bundle(
+            fitted_sisg.model, train, n_cells=8, table_coverage=0.6, seed=0
+        )
+        cut = max(1, int(len(full.table) * 0.6))
+        np.testing.assert_array_equal(
+            partial.table.item_ids, full.table.item_ids[:cut]
+        )
+        for item in partial.table.item_ids[:3]:
+            got_ids, got_scores = partial.table.topk(int(item), 10)
+            want_ids, want_scores = full.table.topk(int(item), 10)
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_allclose(got_scores, want_scores)
+
     def test_invalid_coverage(self, fitted_sisg, tiny_split):
         train, _ = tiny_split
         with pytest.raises(ValueError):
