@@ -1,0 +1,141 @@
+"""The nightly refresh daemon: the production loop, self-driving.
+
+``examples/daily_refresh.py`` hand-cranks one warm-start day; this
+example hands the whole cycle to :class:`RefreshDaemon` and watches it
+behave like a production refresh job:
+
+- three clean "days": ingest the day's sessions, warm-start retrain,
+  rebuild the serving bundle, atomically promote — while the service
+  keeps answering requests;
+- a day with an injected build failure: retry with backoff recovers it,
+  and the old generation serves until the new one is ready;
+- a day that exhausts its retries: the cycle fails, the previous bundle
+  stays live (failure isolation — a stale generation beats a torn one);
+- a drift-gated day: a tiny threshold rejects the promotion outright.
+
+    python examples/refresh_daemon.py
+"""
+
+import json
+
+from repro import SyntheticWorld, SyntheticWorldConfig
+from repro.core.sgns import SGNSConfig
+from repro.core.sisg import SISG
+from repro.serving import (
+    MatchingService,
+    MatchingServiceConfig,
+    ModelStore,
+    RefreshConfig,
+    RefreshDaemon,
+    bootstrap_day_source,
+    build_bundle,
+    failing_build_hook,
+)
+from repro.utils.logger import configure_basic_logging
+
+
+def main() -> None:
+    configure_basic_logging()
+    world = SyntheticWorld(
+        SyntheticWorldConfig(
+            n_items=400, n_users=200, n_top_categories=4, n_leaf_categories=10
+        ),
+        seed=7,
+    )
+    dataset = world.generate_dataset(n_sessions=1200)
+    model = SISG.sisg_f_u(
+        dim=16, epochs=2, window=2, negatives=4, seed=1
+    ).fit(dataset).model
+
+    store = ModelStore(
+        build_bundle(model, dataset, n_cells=16, table_coverage=0.8, seed=0)
+    )
+    service = MatchingService(store, MatchingServiceConfig(default_k=10))
+    warm = int(store.current().table.item_ids[0])
+
+    config = RefreshConfig(
+        interval=0.1,  # "nightly", compressed
+        max_retries=2,
+        backoff_base=0.05,
+        backoff_cap=0.2,
+        drift_threshold=0.9,  # permissive: warm starts drift far less
+        train_config=SGNSConfig(dim=16, epochs=1, window=2, negatives=4, seed=2),
+        build_kwargs={"n_cells": 16, "table_coverage": 0.8, "seed": 0},
+    )
+
+    # ---------------------------------------------------- clean days
+    daemon = RefreshDaemon(service, bootstrap_day_source(dataset, seed=3), config)
+    print("— three clean days —")
+    for _ in range(3):
+        report = daemon.run_once()
+        result = service.recommend(warm)
+        print(
+            f"day {report.cycle}: promoted={report.promoted}"
+            f" drift={report.drift:.3f} version={report.versions}"
+            f" | serving v{result.version} ({result.tier})"
+        )
+
+    # ------------------------------------- a flaky build, recovered
+    print("— injected build failure (recovers on retry) —")
+    flaky = RefreshDaemon(
+        service,
+        bootstrap_day_source(dataset, seed=4),
+        config,
+        fault_hook=failing_build_hook({"build": 1}),
+    )
+    report = flaky.run_once()
+    print(
+        f"promoted={report.promoted} after {report.attempts} attempts"
+        f" -> version {report.versions}"
+    )
+
+    # ----------------------------- retries exhausted: old bundle live
+    print("— retries exhausted (old generation keeps serving) —")
+    version_before = store.version
+    broken = RefreshDaemon(
+        service,
+        bootstrap_day_source(dataset, seed=5),
+        config,
+        fault_hook=failing_build_hook({"build": 99}),
+    )
+    report = broken.run_once()
+    result = service.recommend(warm)
+    print(
+        f"promoted={report.promoted} ({report.error});"
+        f" store stayed v{store.version} == v{version_before},"
+        f" still serving v{result.version}"
+    )
+
+    # --------------------------------------------- the drift gate
+    print("— drift gate —")
+    gated = RefreshDaemon(
+        service,
+        bootstrap_day_source(dataset, seed=6),
+        RefreshConfig(
+            interval=0.1,
+            drift_threshold=1e-9,  # absurdly strict: every day is "too new"
+            train_config=config.train_config,
+            build_kwargs=config.build_kwargs,
+        ),
+    )
+    report = gated.run_once()
+    print(
+        f"promoted={report.promoted} aborted_by={report.aborted_by}"
+        f" (drift {report.drift:.4f} > 1e-09)"
+    )
+
+    # --------------------------------------------- observability
+    print("— refresh state in the service snapshot —")
+    snap = service.snapshot()
+    refresh_keys = {
+        "counters": {
+            k: v for k, v in snap["counters"].items() if k.startswith("refresh")
+        },
+        "gauges": snap["gauges"],
+        "info": snap["info"],
+    }
+    print(json.dumps(refresh_keys, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

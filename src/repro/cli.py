@@ -10,13 +10,18 @@ Commands mirror the production workflow:
 - ``sisg recommend`` — top-K lookup for one item from a saved model;
 - ``sisg partition`` — run HBGP and report cut fraction / imbalance;
 - ``sisg serve-demo`` — stand up the online matching service and walk
-  every fallback tier, including a hot swap;
+  every fallback tier, including a hot swap (``--refresh-every`` runs
+  the swap through the background refresh daemon instead);
 - ``sisg loadgen`` — replay synthetic traffic against the service and
-  report QPS / cache hit rate / per-tier tail latency as JSON.
+  report QPS / cache hit rate / per-tier tail latency as JSON;
+- ``sisg refresh-daemon`` — run nightly refresh cycles (warm-start →
+  build → swap) against a live service, with retry/backoff, a circuit
+  breaker, a drift gate and optional fault injection.
 
-``serve-demo`` and ``loadgen`` accept ``--shards N`` to serve from
-HBGP-sharded per-partition stores behind the scatter-gather dispatcher
-(``--shard-executor process`` runs one worker process per shard).
+``serve-demo``, ``loadgen`` and ``refresh-daemon`` accept ``--shards N``
+to serve from HBGP-sharded per-partition stores behind the
+scatter-gather dispatcher (``--shard-executor process`` runs one worker
+process per shard).
 
 Datasets are stored as ``.npz`` bundles via :mod:`repro.data.io_utils`.
 """
@@ -104,6 +109,62 @@ def _add_serve_demo(sub: argparse._SubParsersAction) -> None:
         help="fraction of items in the nightly table (rest hit live ANN)",
     )
     p.add_argument("--cells", type=int, default=None, help="IVF cells")
+    p.add_argument(
+        "--refresh-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the hot swap through the background refresh daemon"
+        " at this interval instead of a manual rebuild",
+    )
+    _add_shard_args(p)
+
+
+def _add_refresh_daemon(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "refresh-daemon",
+        help="run nightly refresh cycles against a live service",
+    )
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("model", help="model path prefix (from `sisg train`)")
+    p.add_argument(
+        "--cycles", type=int, default=2, help="refresh cycles to run"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        help="seconds between cycle starts; 0 runs the cycles"
+        " back-to-back in the foreground (default)",
+    )
+    p.add_argument("--max-retries", type=int, default=2)
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        help="abort promotion when day-over-day embedding drift"
+        " exceeds this (default: gate disabled)",
+    )
+    p.add_argument("--lr-decay", type=float, default=0.5)
+    p.add_argument(
+        "--train-epochs",
+        type=int,
+        default=1,
+        help="warm-start continuation epochs per cycle",
+    )
+    p.add_argument(
+        "--inject-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help="inject N build failures to exercise retry/backoff",
+    )
+    p.add_argument("--table-coverage", type=float, default=0.8)
+    p.add_argument("--cells", type=int, default=None, help="IVF cells")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output", default=None, help="also write the JSON status here"
+    )
     _add_shard_args(p)
 
 
@@ -165,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_partition(sub)
     _add_serve_demo(sub)
     _add_loadgen(sub)
+    _add_refresh_daemon(sub)
     return parser
 
 
@@ -181,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         "partition": _cmd_partition,
         "serve-demo": _cmd_serve_demo,
         "loadgen": _cmd_loadgen,
+        "refresh-daemon": _cmd_refresh_daemon,
     }
     return handlers[args.command](args)
 
@@ -381,35 +444,145 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     show("cold user (demographics)", MatchRequest(gender="F", age_bucket="25-30"))
     show("unknown item", MatchRequest(item_id=10**9))
 
-    print("— hot swap —")
-    if sharded:
-        # Refresh only shard 0: the other shards keep serving untouched.
-        new_bundle = build_shard_bundle(
-            model,
-            dataset,
-            np.flatnonzero(store.item_partition == 0),
-            n_cells=args.cells,
-            table_coverage=args.table_coverage,
-            seed=1,
+    if args.refresh_every is not None:
+        # Daemon-driven refresh: warm-start retrain + rebuild + promote
+        # on a background thread while the service keeps serving.
+        from repro.core.sgns import SGNSConfig
+        from repro.serving import (
+            RefreshConfig,
+            RefreshDaemon,
+            bootstrap_day_source,
         )
-        service.swap_shard(0, new_bundle)
-        print(f"swapped shard 0 only; shard versions: {store.versions}")
+
+        print(f"— refresh daemon (every {args.refresh_every:g}s) —")
+        config = RefreshConfig(
+            interval=args.refresh_every,
+            train_config=SGNSConfig(
+                dim=model.dim, epochs=1, window=2, negatives=2, seed=0
+            ),
+            build_kwargs={
+                "n_cells": args.cells,
+                "table_coverage": args.table_coverage,
+                "seed": 1,
+            },
+        )
+        daemon = RefreshDaemon(
+            service, bootstrap_day_source(dataset, seed=0), config
+        )
+        with daemon:
+            if not daemon.wait_for_cycles(1, timeout=300.0):
+                print("refresh cycle timed out", file=sys.stderr)
+                return 1
+        report = daemon.history[-1]
+        print(
+            f"cycle {report.cycle}: promoted={report.promoted}"
+            f" attempts={report.attempts} versions={report.versions}"
+        )
+        show("warm item after refresh", int(covered[0]))
     else:
-        store.swap(
-            build_bundle(
+        print("— hot swap —")
+        if sharded:
+            # Refresh only shard 0: the other shards keep serving untouched.
+            new_bundle = build_shard_bundle(
                 model,
                 dataset,
+                np.flatnonzero(store.item_partition == 0),
                 n_cells=args.cells,
                 table_coverage=args.table_coverage,
                 seed=1,
             )
-        )
-    show("warm item after swap", int(covered[0]))
+            service.swap_shard(0, new_bundle)
+            print(f"swapped shard 0 only; shard versions: {store.versions}")
+        else:
+            store.swap(
+                build_bundle(
+                    model,
+                    dataset,
+                    n_cells=args.cells,
+                    table_coverage=args.table_coverage,
+                    seed=1,
+                )
+            )
+        show("warm item after swap", int(covered[0]))
     print("— metrics —")
     print(json.dumps(service.snapshot(), indent=2, sort_keys=True))
     if sharded:
         service.close()
     return 0
+
+
+def _cmd_refresh_daemon(args: argparse.Namespace) -> int:
+    """Run ``--cycles`` refresh cycles and print the daemon's status.
+
+    Exits 1 when no cycle promoted — the old generation is still
+    serving (that is the point of failure isolation), but a refresh job
+    that never lands a new generation should page someone.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.core.sgns import SGNSConfig
+    from repro.serving import (
+        RefreshConfig,
+        RefreshDaemon,
+        bootstrap_day_source,
+        failing_build_hook,
+    )
+
+    dataset, model, store, service = _build_service(args)
+    sharded = hasattr(store, "n_shards")
+    config = RefreshConfig(
+        interval=args.interval if args.interval > 0 else 86400.0,
+        max_retries=args.max_retries,
+        backoff_base=0.05,
+        backoff_cap=1.0,
+        drift_threshold=args.drift_threshold,
+        lr_decay=args.lr_decay,
+        train_config=SGNSConfig(
+            dim=model.dim,
+            epochs=args.train_epochs,
+            window=2,
+            negatives=2,
+            seed=args.seed,
+        ),
+        build_kwargs={
+            "n_cells": args.cells,
+            "table_coverage": args.table_coverage,
+            "seed": args.seed,
+        },
+    )
+    hook = (
+        failing_build_hook({"build": args.inject_failures})
+        if args.inject_failures > 0
+        else None
+    )
+    daemon = RefreshDaemon(
+        service,
+        bootstrap_day_source(dataset, seed=args.seed),
+        config,
+        fault_hook=hook,
+        seed=args.seed,
+    )
+    try:
+        if args.interval > 0:
+            with daemon:
+                if not daemon.wait_for_cycles(args.cycles, timeout=600.0):
+                    print("refresh cycles timed out", file=sys.stderr)
+                    return 1
+        else:
+            for _ in range(args.cycles):
+                daemon.run_once()
+    finally:
+        if sharded:
+            service.close()
+    status = daemon.status()
+    status["metrics"] = service.snapshot()
+    text = json.dumps(status, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    promotions = sum(1 for r in status["history"] if r["promoted"])
+    return 0 if promotions > 0 else 1
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:

@@ -19,7 +19,10 @@ request-serving system:
 - :mod:`repro.serving.parallel` — one worker process per shard (fork-
   shared read-only arrays) so QPS scales past the GIL;
 - :mod:`repro.serving.eval` — serving-side HR@K (the evaluator routed
-  through a live service instead of the exact index).
+  through a live service instead of the exact index);
+- :mod:`repro.serving.refresh` — the nightly refresh daemon: warm-start
+  retraining → bundle build → hot swap on a background thread, with
+  retry/backoff, a circuit breaker and a drift gate.
 """
 
 from repro.serving.candidates import (
@@ -52,6 +55,13 @@ from repro.serving.sharding import (
 )
 from repro.serving.parallel import ShardWorkerPool
 from repro.serving.eval import ServiceRecommender, evaluate_service_hitrate
+from repro.serving.refresh import (
+    RefreshConfig,
+    RefreshDaemon,
+    RefreshReport,
+    bootstrap_day_source,
+    failing_build_hook,
+)
 
 __all__ = [
     "CandidateTable",
@@ -80,4 +90,9 @@ __all__ = [
     "merge_topk",
     "ServiceRecommender",
     "evaluate_service_hitrate",
+    "RefreshConfig",
+    "RefreshDaemon",
+    "RefreshReport",
+    "bootstrap_day_source",
+    "failing_build_hook",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
+from typing import Callable
 
 import numpy as np
 
@@ -74,12 +75,22 @@ class ServingMetrics:
     uses ``requests``, ``cache_hit``, ``cache_miss``, ``swaps`` and
     ``errors``.  ``observe(tier, seconds)`` lazily creates one histogram
     per tier.
+
+    Beyond counters and histograms there are *gauges* (point-in-time
+    numbers — a gauge may be a zero-argument callable, evaluated at
+    snapshot time, so e.g. "seconds since the last refresh" stays live)
+    and *info* entries (short strings such as the last refresh error).
+    The refresh daemon publishes its state through these so one
+    ``service.snapshot()`` shows both the request path and the nightly
+    pipeline feeding it.
     """
 
     def __init__(self, max_samples: int = 8192) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = defaultdict(int)
         self._tiers: dict[str, LatencyHistogram] = {}
+        self._gauges: dict[str, "float | Callable[[], float]"] = {}
+        self._info: dict[str, str | None] = {}
         self._max_samples = max_samples
 
     def incr(self, name: str, n: int = 1) -> None:
@@ -91,6 +102,27 @@ class ServingMetrics:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: "float | Callable[[], float]") -> None:
+        """Set gauge ``name``: a number, or a callable evaluated per snapshot."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> float | None:
+        """Current value of gauge ``name`` (``None`` if never set)."""
+        with self._lock:
+            value = self._gauges.get(name)
+        return float(value()) if callable(value) else value
+
+    def set_info(self, name: str, value: str | None) -> None:
+        """Attach a short free-form string (e.g. the last refresh error)."""
+        with self._lock:
+            self._info[name] = value
+
+    def info(self, name: str) -> str | None:
+        """Current value of info entry ``name`` (``None`` if never set)."""
+        with self._lock:
+            return self._info.get(name)
 
     def observe(self, tier: str, seconds: float) -> None:
         """Record one request latency under fallback tier ``tier``."""
@@ -113,16 +145,30 @@ class ServingMetrics:
         """One JSON-serializable view of everything recorded so far.
 
         ``{"counters": {...}, "cache_hit_rate": float,
-        "tiers": {tier: {count, mean, p50, p95, p99}}}``
+        "tiers": {tier: {count, mean, p50, p95, p99}},
+        "gauges": {...}, "info": {...}}`` — ``gauges``/``info`` are
+        omitted while empty so older reports keep their shape.
         """
         with self._lock:
             counters = dict(self._counters)
             tiers = {name: hist.snapshot() for name, hist in self._tiers.items()}
+            gauges = dict(self._gauges)
+            info = dict(self._info)
         hits = counters.get("cache_hit", 0)
         misses = counters.get("cache_miss", 0)
         total = hits + misses
-        return {
+        snap: dict = {
             "counters": counters,
             "cache_hit_rate": hits / total if total else 0.0,
             "tiers": tiers,
         }
+        if gauges:
+            # Callable gauges are evaluated outside the lock: they may be
+            # arbitrary user code (e.g. "age of the live generation").
+            snap["gauges"] = {
+                name: float(value()) if callable(value) else value
+                for name, value in gauges.items()
+            }
+        if info:
+            snap["info"] = info
+        return snap

@@ -171,11 +171,17 @@ class MatchingService:
 
         key = (bundle.version, k, request.cache_key())
         if self._cache is not None:
+            start = time.perf_counter()
             hit = self._cache.get(key)
             if hit is not None:
+                # A hit is still a served request: time it and put it on
+                # the `cache` histogram so snapshot quantiles describe
+                # the whole traffic, not just the miss path.
+                latency = time.perf_counter() - start
                 self._metrics.incr("cache_hit")
+                self._metrics.observe("cache", latency)
                 return MatchResult(
-                    hit.items, hit.scores, hit.tier, hit.version, cached=True
+                    hit.items, hit.scores, hit.tier, hit.version, True, latency
                 )
             self._metrics.incr("cache_miss")
 
@@ -221,11 +227,14 @@ class MatchingService:
             self._metrics.incr("requests")
             key = (bundle.version, k, request.cache_key())
             if self._cache is not None:
+                start = time.perf_counter()
                 hit = self._cache.get(key)
                 if hit is not None:
+                    latency = time.perf_counter() - start
                     self._metrics.incr("cache_hit")
+                    self._metrics.observe("cache", latency)
                     results[row] = MatchResult(
-                        hit.items, hit.scores, hit.tier, hit.version, cached=True
+                        hit.items, hit.scores, hit.tier, hit.version, True, latency
                     )
                     continue
                 self._metrics.incr("cache_miss")

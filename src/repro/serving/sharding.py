@@ -221,6 +221,37 @@ class ShardedModelStore:
         """Per-shard live bundle versions."""
         return [store.version for store in self._stores]
 
+    @property
+    def generation_age_s(self) -> float:
+        """Age of the *stalest* shard's live generation, in seconds."""
+        return max(store.generation_age_s for store in self._stores)
+
+    def update_partition(self, item_partition: np.ndarray) -> None:
+        """Install a new item -> shard map (e.g. after new items listed).
+
+        Existing items must keep their owning shard — moving an item
+        would tear it between its old shard's table and its new shard's
+        index for in-flight snapshots; the nightly refresh only *extends*
+        the map with newly listed items.  The reference assignment is
+        atomic, so readers see either the old or the new map, never a
+        partial one.
+        """
+        item_partition = np.asarray(item_partition, dtype=np.int64)
+        old = self._item_partition
+        require(
+            len(item_partition) >= len(old),
+            "new partition map must cover every existing item",
+        )
+        require(
+            bool(np.array_equal(item_partition[: len(old)], old)),
+            "existing items cannot change shards in a partition update",
+        )
+        require(
+            int(item_partition.max(initial=-1)) < len(self._stores),
+            "item_partition references a shard with no bundle",
+        )
+        self._item_partition = item_partition
+
     def shard_of(self, item_id: int) -> int | None:
         """Owning shard of ``item_id`` (``None`` for out-of-map ids)."""
         item = int(item_id)
@@ -401,11 +432,16 @@ class ShardedMatchingService:
 
         key = self._cache_key(bundles, request, k)
         if self._cache is not None:
+            start = time.perf_counter()
             hit = self._cache.get(key)
             if hit is not None:
+                # Same contract as the unsharded service: hits are timed
+                # and land on the `cache` histogram.
+                latency = time.perf_counter() - start
                 self._metrics.incr("cache_hit")
+                self._metrics.observe("cache", latency)
                 return MatchResult(
-                    hit.items, hit.scores, hit.tier, hit.version, cached=True
+                    hit.items, hit.scores, hit.tier, hit.version, True, latency
                 )
             self._metrics.incr("cache_miss")
 
@@ -447,11 +483,14 @@ class ShardedMatchingService:
             self._metrics.incr("requests")
             key = self._cache_key(bundles, request, k)
             if self._cache is not None:
+                start = time.perf_counter()
                 hit = self._cache.get(key)
                 if hit is not None:
+                    latency = time.perf_counter() - start
                     self._metrics.incr("cache_hit")
+                    self._metrics.observe("cache", latency)
                     results[row] = MatchResult(
-                        hit.items, hit.scores, hit.tier, hit.version, cached=True
+                        hit.items, hit.scores, hit.tier, hit.version, True, latency
                     )
                     continue
                 self._metrics.incr("cache_miss")

@@ -14,6 +14,7 @@ between yesterday's table and today's index.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -141,6 +142,7 @@ class ModelStore:
     def __init__(self, bundle: ModelBundle) -> None:
         self._lock = threading.Lock()
         self._bundle = replace(bundle, version=max(bundle.version, 0))
+        self._swapped_at = time.time()
 
     def current(self) -> ModelBundle:
         """The live bundle (an immutable snapshot; safe to hold)."""
@@ -153,6 +155,21 @@ class ModelStore:
         """Version of the live bundle."""
         return self._bundle.version
 
+    @property
+    def swapped_at(self) -> float:
+        """Unix timestamp of the last swap (store creation counts as one)."""
+        return self._swapped_at
+
+    @property
+    def generation_age_s(self) -> float:
+        """Seconds since the live generation was installed.
+
+        The refresh daemon exports this as a gauge: a growing age with a
+        running daemon means refreshes are failing (the circuit breaker
+        and the drift gate both leave the old generation serving).
+        """
+        return time.time() - self._swapped_at
+
     def swap(self, bundle: ModelBundle) -> ModelBundle:
         """Install ``bundle`` as the live generation; returns the old one.
 
@@ -164,6 +181,7 @@ class ModelStore:
         with self._lock:
             old = self._bundle
             self._bundle = replace(bundle, version=old.version + 1)
+            self._swapped_at = time.time()
             logger.info(
                 "hot swap: bundle v%d -> v%d (%d items in table)",
                 old.version,

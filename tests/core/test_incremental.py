@@ -128,6 +128,20 @@ class TestIncrementalUpdate:
             incremental_update(day1_model, day2, CONT_CFG, lr_decay=1.5)
 
 
+def _toy_model(specs):
+    """Build a model from ``[(token, kind, payload, vector), ...]``."""
+    from repro.core.model import EmbeddingModel
+    from repro.core.vocab import Vocabulary
+
+    vocab = Vocabulary()
+    rows = []
+    for token, kind, payload, vector in specs:
+        vocab.add(token, kind, payload=payload, count=1)
+        rows.append(np.asarray(vector, dtype=np.float64))
+    w_in = np.stack(rows)
+    return EmbeddingModel(vocab, w_in, np.zeros_like(w_in))
+
+
 class TestDrift:
     def test_identical_models_zero_drift(self, day1_model):
         assert embedding_drift(day1_model, day1_model) == pytest.approx(0.0)
@@ -139,3 +153,85 @@ class TestDrift:
         total_drift = embedding_drift(day1_model, updated)
         assert item_drift >= 0.0
         assert total_drift >= 0.0
+
+    def test_zero_norm_vectors_excluded_from_mean(self):
+        """A token with a zero vector has no direction: it must be
+        skipped, not poison the mean with a NaN."""
+        previous = _toy_model([
+            ("item_0", TokenKind.ITEM, 0, [1.0, 0.0]),
+            ("item_1", TokenKind.ITEM, 1, [0.0, 0.0]),  # zero in previous
+        ])
+        updated = _toy_model([
+            ("item_0", TokenKind.ITEM, 0, [0.0, 1.0]),  # orthogonal: drift 1
+            ("item_1", TokenKind.ITEM, 1, [1.0, 1.0]),
+        ])
+        drift = embedding_drift(previous, updated)
+        assert drift == pytest.approx(1.0)
+
+    def test_all_zero_vectors_give_zero_drift(self):
+        previous = _toy_model([("item_0", TokenKind.ITEM, 0, [0.0, 0.0])])
+        updated = _toy_model([("item_0", TokenKind.ITEM, 0, [0.0, 0.0])])
+        assert embedding_drift(previous, updated) == 0.0
+
+    def test_kind_filter_separates_token_populations(self):
+        specs_prev = [
+            ("item_0", TokenKind.ITEM, 0, [1.0, 0.0]),
+            ("brand_7", TokenKind.SI, ("brand", 7), [0.0, 1.0]),
+        ]
+        specs_new = [
+            ("item_0", TokenKind.ITEM, 0, [2.0, 0.0]),    # same direction
+            ("brand_7", TokenKind.SI, ("brand", 7), [1.0, 0.0]),  # orthogonal
+        ]
+        previous, updated = _toy_model(specs_prev), _toy_model(specs_new)
+        assert embedding_drift(previous, updated, kind=TokenKind.ITEM) == (
+            pytest.approx(0.0)
+        )
+        assert embedding_drift(previous, updated, kind=TokenKind.SI) == (
+            pytest.approx(1.0)
+        )
+        assert embedding_drift(previous, updated) == pytest.approx(0.5)
+
+    def test_disjoint_vocabularies_zero_drift(self):
+        previous = _toy_model([("item_0", TokenKind.ITEM, 0, [1.0, 0.0])])
+        updated = _toy_model([("item_1", TokenKind.ITEM, 1, [1.0, 0.0])])
+        assert embedding_drift(previous, updated) == 0.0
+
+    def test_kind_absent_from_previous_zero_drift(self):
+        previous = _toy_model([("item_0", TokenKind.ITEM, 0, [1.0, 0.0])])
+        updated = _toy_model([("item_0", TokenKind.ITEM, 0, [1.0, 0.0])])
+        assert embedding_drift(previous, updated, kind=TokenKind.SI) == 0.0
+
+    def test_vectorized_matches_naive_loop(self, two_days, day1_model):
+        """The searchsorted pairing must agree with the per-token loop it
+        replaced, including under a kind filter."""
+        _day1, day2, _clones = two_days
+        updated = incremental_update(day1_model, day2, CONT_CFG)
+
+        def naive(previous, new, kind):
+            shared = []
+            for token_id, token in enumerate(previous.vocab.tokens()):
+                if kind is not None and previous.vocab.kind_of(token_id) is not kind:
+                    continue
+                new_id = new.vocab.get_id(token)
+                if new_id is not None:
+                    shared.append((token_id, new_id))
+            if not shared:
+                return 0.0
+            old_rows = previous.w_in[[a for a, _b in shared]]
+            new_rows = new.w_in[[b for _a, b in shared]]
+            denom = (
+                np.linalg.norm(old_rows, axis=1) * np.linalg.norm(new_rows, axis=1)
+            )
+            valid = denom > 0
+            if not valid.any():
+                return 0.0
+            cosine = (
+                np.einsum("bd,bd->b", old_rows[valid], new_rows[valid])
+                / denom[valid]
+            )
+            return float(np.mean(1.0 - cosine))
+
+        for kind in (None, TokenKind.ITEM, TokenKind.SI):
+            assert embedding_drift(day1_model, updated, kind=kind) == (
+                pytest.approx(naive(day1_model, updated, kind))
+            )

@@ -1,0 +1,105 @@
+"""Tests for the synthetic load generator (request shaping + reporting)."""
+
+import time
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    LoadMix,
+    MatchingService,
+    MatchingServiceConfig,
+    run_load,
+    synth_requests,
+)
+
+
+class TestSynthRequests:
+    def test_mix_fractions_validated(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            synth_requests(tiny_dataset, 10, mix=LoadMix(0.5, 0.5, 0.5, 0.5))
+
+    def test_warm_zipf_tail_is_folded_not_clamped(self, tiny_dataset):
+        """Regression: `min(rank - 1, n_items - 1)` piled the whole Zipf
+        tail onto the last catalogue item, making it artificially hot."""
+        requests = synth_requests(
+            tiny_dataset, 20_000, mix=LoadMix(1.0, 0.0, 0.0, 0.0), seed=3
+        )
+        counts = Counter(r.item_id for r in requests)
+        n = tiny_dataset.n_items
+        assert all(0 <= item < n for item in counts)
+        # The head of the Zipf curve must dominate; the last item only
+        # collects the folded tail slivers, nothing like the ~30% of warm
+        # mass the clamp used to give it.
+        assert counts[0] == max(counts.values())
+        assert counts[n - 1] / len(requests) < 0.05
+
+    def test_warm_head_still_skewed(self, tiny_dataset):
+        requests = synth_requests(
+            tiny_dataset, 5_000, mix=LoadMix(1.0, 0.0, 0.0, 0.0), seed=1
+        )
+        counts = Counter(r.item_id for r in requests)
+        top_10 = sum(counts[i] for i in range(10))
+        assert top_10 / len(requests) > 0.4  # a hot head survives the fold
+
+    def test_request_kinds_match_mix(self, tiny_dataset):
+        requests = synth_requests(
+            tiny_dataset, 400, mix=LoadMix(0.25, 0.25, 0.25, 0.25), seed=0
+        )
+        kinds = Counter(
+            "warm" if r.item_id is not None and r.item_id < tiny_dataset.n_items
+            else "unknown" if r.item_id is not None
+            else "cold_item" if r.si_values is not None
+            else "cold_user"
+            for r in requests
+        )
+        assert set(kinds) == {"warm", "unknown", "cold_item", "cold_user"}
+
+
+class TestRunLoad:
+    def test_swap_cost_reported_separately(self, fresh_store, tiny_dataset):
+        """Regression: the swap used to land inside a request lap and
+        inflate `max_lap_s`."""
+        service = MatchingService(
+            fresh_store, MatchingServiceConfig(default_k=5, cache_ttl=None)
+        )
+        requests = synth_requests(tiny_dataset, 200, seed=0)
+        pause = 0.15
+
+        def slow_swap() -> None:
+            time.sleep(pause)
+            fresh_store.swap(fresh_store.current())
+
+        report = run_load(service, requests, k=5, swap=slow_swap, swap_after=0.5)
+        assert report["swap_performed"]
+        assert report["swap_duration_s"] >= pause
+        assert report["max_lap_s"] < pause
+        assert report["failures"] == 0
+        assert len(report["versions_served"]) == 2
+
+    def test_no_swap_reports_zero_duration(self, fresh_store, tiny_dataset):
+        service = MatchingService(
+            fresh_store, MatchingServiceConfig(default_k=5, cache_ttl=None)
+        )
+        requests = synth_requests(tiny_dataset, 50, seed=1)
+        report = run_load(service, requests, k=5)
+        assert not report["swap_performed"]
+        assert report["swap_duration_s"] == 0.0
+        assert report["served"] == 50
+        assert report["qps"] > 0
+
+    def test_batched_run_counts_every_request(self, fresh_store, tiny_dataset):
+        service = MatchingService(
+            fresh_store, MatchingServiceConfig(default_k=5, cache_ttl=None)
+        )
+        requests = synth_requests(tiny_dataset, 64, seed=2)
+        report = run_load(service, requests, k=5, batch_size=16)
+        assert report["served"] == 64
+        assert report["failures"] == 0
+        total_observed = sum(
+            s["count"] for s in report["tiers"].values()
+        )
+        # Every request lands on exactly one histogram (incl. cache hits).
+        assert total_observed == 64.0
+        assert np.isfinite(report["max_lap_s"])

@@ -147,6 +147,28 @@ class TestCaching:
         assert not uncached.recommend(item).cached
         assert uncached.cache is None
 
+    def test_cache_hits_are_timed_and_observed(self, service, serving_bundle):
+        """Regression: hits used to return latency=0.0 and skip every
+        histogram, so snapshot quantiles described only the miss path."""
+        item = warm_item(serving_bundle)
+        service.recommend(item)
+        hit = service.recommend(item)
+        assert hit.cached
+        assert hit.latency > 0.0
+        cache_tier = service.snapshot()["tiers"]["cache"]
+        assert cache_tier["count"] == 1.0
+        assert cache_tier["p50"] > 0.0
+
+    def test_batch_cache_hits_are_timed_and_observed(
+        self, service, serving_bundle
+    ):
+        item = warm_item(serving_bundle)
+        service.recommend_batch([item], 10)
+        (hit,) = service.recommend_batch([item], 10)
+        assert hit.cached
+        assert hit.latency > 0.0
+        assert service.snapshot()["tiers"]["cache"]["count"] == 1.0
+
     def test_swap_invalidates_cache(self, service, serving_bundle):
         item = warm_item(serving_bundle)
         assert service.recommend(item).version == 0
@@ -258,9 +280,10 @@ class TestMetricsWiring:
         assert snap["counters"]["cache_hit"] == 1
         assert snap["counters"]["cache_miss"] == 4
         tier_counts = {t: s["count"] for t, s in snap["tiers"].items()}
-        # Cached responses don't re-observe latency: 4 resolved requests.
-        assert sum(tier_counts.values()) == 4.0
+        # 4 resolved requests + 1 cache hit (timed under the cache tier).
+        assert sum(tier_counts.values()) == 5.0
         assert tier_counts["table"] == 1.0
+        assert tier_counts["cache"] == 1.0
         assert snap["cache_hit_rate"] == pytest.approx(0.2)
         assert snap["store_version"] == 0
         assert snap["cache"]["size"] == 4

@@ -152,6 +152,80 @@ class TestWorkflow:
         )
         assert code == 2
 
+    def test_refresh_daemon_recovers_from_injected_failure(
+        self, dataset_path, serving_model_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "status.json"
+        code = main(
+            [
+                "refresh-daemon",
+                str(dataset_path),
+                str(serving_model_path),
+                "--cycles", "1",
+                "--inject-failures", "1",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        status = json.loads(out_path.read_text())
+        assert status["store_version"] == 1
+        assert status["history"][0]["promoted"]
+        assert status["history"][0]["attempts"] == 2  # retry recovered
+        assert status["metrics"]["counters"]["refresh_retries"] == 1
+        # stdout carries the same status
+        assert json.loads(capsys.readouterr().out) == status
+
+    def test_refresh_daemon_drift_gate_exits_nonzero(
+        self, dataset_path, serving_model_path, capsys
+    ):
+        code = main(
+            [
+                "refresh-daemon",
+                str(dataset_path),
+                str(serving_model_path),
+                "--cycles", "1",
+                "--drift-threshold", "1e-12",
+            ]
+        )
+        assert code == 1  # nothing promoted: the old generation serves
+        status = json.loads(capsys.readouterr().out)
+        assert status["store_version"] == 0
+        assert status["history"][0]["aborted_by"] == "drift_gate"
+
+    def test_refresh_daemon_sharded(
+        self, dataset_path, serving_model_path, capsys
+    ):
+        code = main(
+            [
+                "refresh-daemon",
+                str(dataset_path),
+                str(serving_model_path),
+                "--cycles", "1",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["store_version"] == [1, 1]
+
+    def test_serve_demo_refresh_every(
+        self, dataset_path, serving_model_path, capsys
+    ):
+        code = main(
+            [
+                "serve-demo",
+                str(dataset_path),
+                str(serving_model_path),
+                "-k", "5",
+                "--refresh-every", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refresh daemon" in out
+        assert "promoted=True" in out
+        assert "warm item after refresh" in out
+
     def test_train_distributed_engine(self, dataset_path, tmp_path):
         model_path = tmp_path / "dist_model"
         code = main(
