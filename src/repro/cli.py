@@ -67,8 +67,21 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--window", type=int, default=2)
     p.add_argument("--negatives", type=int, default=5)
     p.add_argument("--lr", type=float, default=0.05)
-    p.add_argument("--engine", default="local", choices=["local", "distributed"])
+    p.add_argument(
+        "--engine",
+        default="local",
+        choices=["local", "parallel", "distributed"],
+        help="local single-process trainer, the shared-memory Hogwild"
+        " engine (parallel), or the simulated TNS/ATNS engine",
+    )
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--shard-strategy",
+        default="contiguous",
+        choices=["contiguous", "hbgp"],
+        help="sequence sharding for --engine parallel: pair-count"
+        " balanced, or HBGP majority-partition routing",
+    )
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -301,6 +314,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         n_workers=args.workers,
+        shard_strategy=args.shard_strategy,
     )
     model.fit(dataset)
     model.model.save(args.output)

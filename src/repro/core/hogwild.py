@@ -1,0 +1,569 @@
+"""Parallel shared-memory SGNS training (Hogwild-style, Recht et al. 2011).
+
+The paper's systems contribution (TNS/ATNS, Section III) exists to make
+skip-gram training scale across workers.  :mod:`repro.distributed.engine`
+reproduces that *algorithm* faithfully under a simulated cost model; this
+module is the real thing on one machine: ``ParallelSGNSTrainer`` places
+``w_in``/``w_out`` in POSIX shared memory (``multiprocessing.shared_memory``)
+and runs N OS worker processes doing **lock-free** minibatch SGD over
+disjoint sequence shards.
+
+Three of the paper's ideas carry over directly:
+
+- **Disjoint shards** play the role of TNS's per-worker pair streams:
+  each worker trains only its own sequences, so two workers rarely
+  aggregate gradients for the same parameter row in the same step.
+- **HBGP shard assignment** (``shard_strategy="hbgp"``) routes each
+  sequence to the worker owning the majority of its tokens' partition,
+  mirroring the paper's insight that partition-local traffic minimizes
+  cross-worker parameter conflicts — here, conflicts are racy lost
+  updates instead of RPCs.
+- **ATNS hot-token replication**: the hottest tokens (SI hubs, user
+  types) appear in *every* shard, so their output rows would be the
+  contended cache lines.  Each worker keeps a private replica of those
+  rows and merges accumulated deltas into the shared matrix every
+  ``sync_interval`` batches under a lock — bounding replica drift the
+  same way the simulated ATNS engine does (delta accumulation, not plain
+  averaging, so hot tokens receive every worker's update volume).
+
+Everything else — gradients, duplicate aggregation, step clipping, the
+noise distribution — reuses the exact kernels of the sequential trainer
+(:func:`repro.core.sgns.scatter_update`, :func:`repro.core.sgns.sigmoid`,
+:class:`repro.core.sampling.AliasSampler`), so single-process and
+multi-process training move parameters the same way and quality parity
+is an empirical check of Hogwild staleness only (asserted in
+``benchmarks/bench_training_throughput.py``).
+
+Worker processes are started with the ``fork`` method: the read-only
+state (sequences, alias table, config) is inherited copy-on-write and
+the shared-memory mappings stay shared for writes.  Platforms without
+``fork`` fall back to running the shards sequentially in-process —
+identical results, no speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.sampling import (
+    AliasSampler,
+    PairGenerator,
+    build_noise_distribution,
+    subsample_keep_probabilities,
+)
+from repro.core.sgns import SGNSConfig, scatter_update, sigmoid
+from repro.utils import ensure_rng, get_logger, require, require_positive
+
+logger = get_logger("core.hogwild")
+
+_SHARD_STRATEGIES = ("contiguous", "hbgp")
+
+
+def _pair_weight(length: int, window: int) -> int:
+    """Skip-gram pairs (one side) a length-``length`` sequence yields."""
+    if length <= window + 1:
+        return length * (length - 1) // 2
+    return window * length - window * (window + 1) // 2
+
+
+def shard_sequences(
+    sequences: list[np.ndarray],
+    n_workers: int,
+    window: int = 5,
+    token_partition: np.ndarray | None = None,
+    balance: float = 1.25,
+) -> list[np.ndarray]:
+    """Assign sequences to ``n_workers`` disjoint shards.
+
+    Without ``token_partition``, sequences are spread by longest-
+    processing-time greedy on their expected pair count (near-perfect
+    balance).  With it (HBGP mode), each sequence goes to the worker
+    owning the majority of its tokens' partitions; shards exceeding
+    ``balance`` times the mean load evict their smallest sequences,
+    which are re-spread greedily — locality first, balance as a bound.
+
+    Returns one array of sequence indices per worker.
+    """
+    require_positive(n_workers, "n_workers")
+    require(balance >= 1.0, f"balance must be >= 1.0, got {balance}")
+    weights = np.asarray(
+        [_pair_weight(len(s), window) for s in sequences], dtype=np.int64
+    )
+    shards: list[list[int]] = [[] for _ in range(n_workers)]
+    loads = np.zeros(n_workers, dtype=np.int64)
+
+    def assign_greedy(indices: np.ndarray) -> None:
+        for i in indices[np.argsort(-weights[indices], kind="stable")]:
+            target = int(np.argmin(loads))
+            shards[target].append(int(i))
+            loads[target] += weights[i]
+
+    if token_partition is None:
+        assign_greedy(np.arange(len(sequences)))
+    else:
+        token_partition = np.asarray(token_partition, dtype=np.int64)
+        unassigned: list[int] = []
+        for i, seq in enumerate(sequences):
+            owners = token_partition[seq]
+            owners = owners[(owners >= 0) & (owners < n_workers)]
+            if len(owners):
+                target = int(np.bincount(owners, minlength=n_workers).argmax())
+                shards[target].append(i)
+                loads[target] += weights[i]
+            else:
+                unassigned.append(i)
+        # Balance bound: overloaded shards evict their smallest sequences.
+        cap = balance * weights.sum() / n_workers
+        for wid in range(n_workers):
+            if loads[wid] <= cap:
+                continue
+            # Evict smallest (least-local loss) until under the cap,
+            # keeping at least one sequence on its preferred worker.
+            members = sorted(shards[wid], key=lambda i: weights[i])
+            evicted = []
+            for i in members:
+                if loads[wid] <= cap or len(shards[wid]) - len(evicted) <= 1:
+                    break
+                evicted.append(i)
+                loads[wid] -= weights[i]
+            shards[wid] = [i for i in shards[wid] if i not in set(evicted)]
+            unassigned.extend(evicted)
+        if unassigned:
+            assign_greedy(np.asarray(unassigned, dtype=np.int64))
+    return [np.asarray(sorted(s), dtype=np.int64) for s in shards]
+
+
+@dataclass
+class WorkerReport:
+    """Per-worker training accounting, read back from shared memory."""
+
+    worker_id: int
+    pairs: int
+    losses: list[float]
+
+
+class ParallelSGNSTrainer:
+    """Multi-process Hogwild SGNS over shared-memory parameter matrices.
+
+    Drop-in quality replacement for :class:`repro.core.sgns.SGNSTrainer`
+    (same ``fit(sequences, counts)`` surface, same ``w_in``/``w_out``
+    result attributes); training is lock-free and therefore *not*
+    bit-reproducible across runs when ``n_workers > 1``.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of tokens; fixes the shared matrix shapes.
+    config:
+        The sequential trainer's hyper-parameters, reused verbatim.
+        ``dtype="float32"`` is recommended: it halves the shared-memory
+        footprint and memory traffic.
+    n_workers:
+        Worker processes.  ``1`` runs the worker loop inline (no fork).
+    shard_strategy:
+        ``"contiguous"`` (pair-count-balanced greedy spread) or
+        ``"hbgp"`` (majority-partition routing; requires
+        ``token_partition`` at :meth:`fit` time).
+    sync_interval:
+        Batches between hot-replica merges (ATNS cadence).  Short
+        intervals bound drift tighter at slightly more lock traffic.
+    hot_threshold:
+        Relative-frequency threshold above which a token's output row is
+        replicated per worker.  ``>= 1.0`` disables replication (pure
+        Hogwild on every row).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: SGNSConfig | None = None,
+        n_workers: int = 4,
+        shard_strategy: str = "contiguous",
+        sync_interval: int = 8,
+        hot_threshold: float = 1e-3,
+    ) -> None:
+        require_positive(vocab_size, "vocab_size")
+        require_positive(n_workers, "n_workers")
+        require_positive(sync_interval, "sync_interval")
+        require(
+            shard_strategy in _SHARD_STRATEGIES,
+            f"shard_strategy must be one of {_SHARD_STRATEGIES},"
+            f" got {shard_strategy!r}",
+        )
+        require(hot_threshold > 0, "hot_threshold must be positive")
+        self.config = config or SGNSConfig()
+        self.config.validate()
+        self.vocab_size = vocab_size
+        self.n_workers = n_workers
+        self.shard_strategy = shard_strategy
+        self.sync_interval = sync_interval
+        self.hot_threshold = hot_threshold
+        self.w_in: np.ndarray | None = None
+        self.w_out: np.ndarray | None = None
+        self.loss_history: list[float] = []
+        self.pairs_trained = 0
+        self.worker_reports: list[WorkerReport] = []
+        self.shard_sizes: list[int] = []
+        self.n_hot = 0
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        sequences: list[np.ndarray],
+        counts: np.ndarray,
+        keep_probabilities: np.ndarray | None = None,
+        token_partition: np.ndarray | None = None,
+    ) -> "ParallelSGNSTrainer":
+        """Train over ``sequences`` with ``n_workers`` processes.
+
+        Parameters mirror :meth:`repro.core.sgns.SGNSTrainer.fit`;
+        ``token_partition`` (token id -> partition id, ``-1`` for
+        unowned) activates HBGP-locality sharding when
+        ``shard_strategy="hbgp"``.
+        """
+        cfg = self.config
+        counts = np.asarray(counts, dtype=np.int64)
+        if len(counts) != self.vocab_size:
+            raise ValueError(
+                f"counts has length {len(counts)}, expected {self.vocab_size}"
+            )
+        if self.shard_strategy == "hbgp" and token_partition is None:
+            raise ValueError(
+                "shard_strategy='hbgp' requires a token_partition array"
+            )
+        noise = build_noise_distribution(counts, cfg.noise_alpha)
+        sampler = AliasSampler(noise)
+        if keep_probabilities is None:
+            keep = subsample_keep_probabilities(counts, cfg.subsample_threshold)
+        else:
+            if len(keep_probabilities) != self.vocab_size:
+                raise ValueError(
+                    "keep_probabilities has length"
+                    f" {len(keep_probabilities)}, expected {self.vocab_size}"
+                )
+            keep = np.asarray(keep_probabilities, dtype=np.float64)
+
+        shards = shard_sequences(
+            sequences,
+            self.n_workers,
+            window=cfg.window,
+            token_partition=(
+                token_partition if self.shard_strategy == "hbgp" else None
+            ),
+        )
+        self.shard_sizes = [len(s) for s in shards]
+
+        # Hot set: tokens frequent enough to be touched by every shard.
+        total = max(int(counts.sum()), 1)
+        hot_ids = np.flatnonzero(counts / total >= self.hot_threshold)
+        hot_row = np.full(self.vocab_size, -1, dtype=np.int64)
+        hot_row[hot_ids] = np.arange(len(hot_ids))
+        self.n_hot = len(hot_ids)
+
+        # Init from the seed rng *first* so w_in is bit-identical to the
+        # sequential trainer's for the same config; worker seeds come
+        # from the stream after it.
+        rng = ensure_rng(cfg.seed)
+        dtype = cfg.param_dtype
+        d = cfg.dim
+
+        shm_params = shared_memory.SharedMemory(
+            create=True, size=2 * self.vocab_size * d * dtype.itemsize
+        )
+        shm_stats = shared_memory.SharedMemory(
+            create=True, size=self.n_workers * cfg.epochs * 2 * 8
+        )
+        try:
+            w_in = np.ndarray(
+                (self.vocab_size, d), dtype=dtype, buffer=shm_params.buf
+            )
+            w_out = np.ndarray(
+                (self.vocab_size, d),
+                dtype=dtype,
+                buffer=shm_params.buf,
+                offset=self.vocab_size * d * dtype.itemsize,
+            )
+            # Same init convention as the sequential trainer.
+            w_in[:] = ((rng.random((self.vocab_size, d)) - 0.5) / d).astype(dtype)
+            w_out[:] = 0.0
+            worker_seeds = [
+                int(s) for s in rng.integers(0, 2**31 - 1, self.n_workers)
+            ]
+            stats = np.ndarray(
+                (self.n_workers, cfg.epochs, 2),
+                dtype=np.float64,
+                buffer=shm_stats.buf,
+            )
+            stats[:] = 0.0
+
+            use_fork = (
+                self.n_workers > 1
+                and "fork" in multiprocessing.get_all_start_methods()
+            )
+            if self.n_workers > 1 and not use_fork:
+                logger.warning(
+                    "fork start method unavailable; running %d shards"
+                    " sequentially in-process",
+                    self.n_workers,
+                )
+            if use_fork:
+                ctx = multiprocessing.get_context("fork")
+                lock = ctx.Lock()
+                procs = [
+                    ctx.Process(
+                        target=_worker_entry,
+                        args=(
+                            wid,
+                            w_in,
+                            w_out,
+                            [sequences[i] for i in shards[wid]],
+                            sampler,
+                            keep,
+                            cfg,
+                            hot_ids,
+                            hot_row,
+                            lock,
+                            self.sync_interval,
+                            stats,
+                            worker_seeds[wid],
+                        ),
+                        daemon=True,
+                    )
+                    for wid in range(self.n_workers)
+                ]
+                for p in procs:
+                    p.start()
+                for p in procs:
+                    p.join()
+                failed = [i for i, p in enumerate(procs) if p.exitcode != 0]
+                if failed:
+                    raise RuntimeError(
+                        f"Hogwild workers {failed} exited non-zero"
+                    )
+            else:
+                lock = multiprocessing.Lock()
+                for wid in range(self.n_workers):
+                    _worker_entry(
+                        wid,
+                        w_in,
+                        w_out,
+                        [sequences[i] for i in shards[wid]],
+                        sampler,
+                        keep,
+                        cfg,
+                        hot_ids,
+                        hot_row,
+                        lock,
+                        self.sync_interval,
+                        stats,
+                        worker_seeds[wid],
+                    )
+
+            self.w_in = np.array(w_in)
+            self.w_out = np.array(w_out)
+            report = np.array(stats)
+        finally:
+            shm_params.close()
+            shm_params.unlink()
+            shm_stats.close()
+            shm_stats.unlink()
+
+        self.worker_reports = [
+            WorkerReport(
+                worker_id=wid,
+                pairs=int(report[wid, :, 1].sum()),
+                losses=[float(x) for x in report[wid, :, 0]],
+            )
+            for wid in range(self.n_workers)
+        ]
+        self.pairs_trained = sum(r.pairs for r in self.worker_reports)
+        # Pair-weighted mean loss per epoch across workers.
+        self.loss_history = []
+        for epoch in range(cfg.epochs):
+            pairs = report[:, epoch, 1].sum()
+            loss = (
+                float((report[:, epoch, 0] * report[:, epoch, 1]).sum() / pairs)
+                if pairs > 0
+                else 0.0
+            )
+            self.loss_history.append(loss)
+        logger.info(
+            "hogwild fit: %d workers, %d pairs, %d hot rows, final loss %.4f",
+            self.n_workers,
+            self.pairs_trained,
+            self.n_hot,
+            self.loss_history[-1] if self.loss_history else float("nan"),
+        )
+        return self
+
+
+def _worker_entry(
+    worker_id: int,
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    sequences: list[np.ndarray],
+    sampler: AliasSampler,
+    keep: np.ndarray,
+    cfg: SGNSConfig,
+    hot_ids: np.ndarray,
+    hot_row: np.ndarray,
+    lock,
+    sync_interval: int,
+    stats: np.ndarray,
+    seed: int,
+) -> None:
+    """Process entry point; isolates worker crashes into exit codes."""
+    try:
+        _worker_loop(
+            worker_id, w_in, w_out, sequences, sampler, keep, cfg,
+            hot_ids, hot_row, lock, sync_interval, stats, seed,
+        )
+    except Exception:  # pragma: no cover - surfaced via exit code
+        traceback.print_exc()
+        raise SystemExit(1)
+
+
+def _worker_loop(
+    worker_id: int,
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    sequences: list[np.ndarray],
+    sampler: AliasSampler,
+    keep: np.ndarray,
+    cfg: SGNSConfig,
+    hot_ids: np.ndarray,
+    hot_row: np.ndarray,
+    lock,
+    sync_interval: int,
+    stats: np.ndarray,
+    seed: int,
+) -> None:
+    """One worker's epochs: the sequential trainer's update rule, with
+    hot output rows served from a private replica (merged periodically)
+    and everything else read/written lock-free in shared memory."""
+    rng = ensure_rng(seed)
+    generator = PairGenerator(
+        sequences,
+        window=cfg.window,
+        directional=cfg.directional,
+        keep_probabilities=keep,
+        dynamic_window=cfg.dynamic_window,
+        seed=rng,
+        precompute=cfg.precompute_pairs,
+        shuffle=cfg.shuffle_pairs,
+    )
+    # Local LR schedule over this shard's expected pair volume: same
+    # decay shape as the sequential run, no cross-worker coordination.
+    total_pairs = max(generator.count_pairs() * cfg.epochs, 1)
+    min_lr = cfg.learning_rate * cfg.min_lr_fraction
+    n_hot = len(hot_ids)
+    if n_hot:
+        with lock:
+            base = w_out[hot_ids].copy()
+        replica = base.copy()
+
+    def gather_out(tokens: np.ndarray) -> np.ndarray:
+        rows = w_out[tokens]
+        if n_hot:
+            mask = hot_row[tokens] >= 0
+            if mask.any():
+                rows[mask] = replica[hot_row[tokens[mask]]]
+        return rows
+
+    def sync_replica() -> None:
+        nonlocal base
+        with lock:
+            w_out[hot_ids] += replica - base
+            base = w_out[hot_ids].copy()
+        replica[:] = base
+
+    seen = 0
+    batches_since_sync = 0
+    for epoch in range(cfg.epochs):
+        epoch_loss = 0.0
+        epoch_pairs = 0
+        for centers, contexts in generator.batches(cfg.batch_size):
+            progress = min(seen / total_pairs, 1.0)
+            lr = cfg.learning_rate + (min_lr - cfg.learning_rate) * progress
+
+            w_c = w_in[centers]
+            c_pos = gather_out(contexts)
+            pos_sig = sigmoid(np.einsum("bd,bd->b", w_c, c_pos))
+            g_pos = pos_sig - 1.0
+
+            negatives = sampler.sample((len(centers), cfg.negatives), rng)
+            neg_flat = negatives.ravel()
+            c_neg = gather_out(neg_flat).reshape(len(centers), cfg.negatives, -1)
+            neg_sig = sigmoid(np.einsum("bd,bnd->bn", w_c, c_neg))
+            g_neg = neg_sig
+
+            grad_w = g_pos[:, None] * c_pos + np.einsum(
+                "bn,bnd->bd", g_neg, c_neg
+            )
+            out_tokens = np.concatenate((contexts, neg_flat))
+            out_grads = np.concatenate(
+                (
+                    g_pos[:, None] * w_c,
+                    (g_neg[..., None] * w_c[:, None, :]).reshape(
+                        -1, cfg.dim
+                    ),
+                )
+            )
+
+            scatter_update(
+                w_in, centers, grad_w, lr,
+                duplicate_policy=cfg.duplicate_policy,
+                max_step_norm=cfg.max_step_norm,
+                impl=cfg.scatter_impl,
+            )
+            if n_hot:
+                hot_mask = hot_row[out_tokens] >= 0
+                if hot_mask.any():
+                    scatter_update(
+                        replica,
+                        hot_row[out_tokens[hot_mask]],
+                        out_grads[hot_mask],
+                        lr,
+                        duplicate_policy=cfg.duplicate_policy,
+                        max_step_norm=cfg.max_step_norm,
+                        impl=cfg.scatter_impl,
+                    )
+                cold = ~hot_mask
+                if cold.any():
+                    scatter_update(
+                        w_out, out_tokens[cold], out_grads[cold], lr,
+                        duplicate_policy=cfg.duplicate_policy,
+                        max_step_norm=cfg.max_step_norm,
+                        impl=cfg.scatter_impl,
+                    )
+            else:
+                scatter_update(
+                    w_out, out_tokens, out_grads, lr,
+                    duplicate_policy=cfg.duplicate_policy,
+                    max_step_norm=cfg.max_step_norm,
+                    impl=cfg.scatter_impl,
+                )
+
+            batch = len(centers)
+            seen += batch
+            epoch_pairs += batch
+            with np.errstate(divide="ignore"):
+                loss = -np.log(np.maximum(pos_sig, 1e-12)).mean()
+                loss += (
+                    -np.log(np.maximum(1.0 - neg_sig, 1e-12)).sum(axis=1).mean()
+                )
+            epoch_loss += float(loss) * batch
+            batches_since_sync += 1
+            if n_hot and batches_since_sync >= sync_interval:
+                sync_replica()
+                batches_since_sync = 0
+        stats[worker_id, epoch, 0] = epoch_loss / max(epoch_pairs, 1)
+        stats[worker_id, epoch, 1] = epoch_pairs
+    if n_hot:
+        sync_replica()

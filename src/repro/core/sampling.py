@@ -32,36 +32,37 @@ class AliasSampler:
     ----------
     weights:
         Non-negative, not-all-zero weights; normalized internally.
+    build:
+        ``"vectorized"`` (default) constructs the table in a handful of
+        NumPy passes; ``"loop"`` is the classic two-stack build, kept as
+        the arithmetic reference (and the fallback for distributions the
+        vectorized matcher cannot finish).  Both produce *valid* alias
+        tables for the same distribution; the tables themselves may
+        differ (alias tables are not unique).
     """
 
-    def __init__(self, weights: np.ndarray) -> None:
+    def __init__(self, weights: np.ndarray, build: str = "vectorized") -> None:
         weights = np.asarray(weights, dtype=np.float64)
         require(weights.ndim == 1, "weights must be one-dimensional")
         require(len(weights) > 0, "weights must be non-empty")
         require(bool(np.all(weights >= 0)), "weights must be non-negative")
+        require(
+            build in ("vectorized", "loop"),
+            f"build must be 'vectorized' or 'loop', got {build!r}",
+        )
         total = float(weights.sum())
         require(total > 0, "weights must not all be zero")
 
         n = len(weights)
         prob = weights * (n / total)
-        alias = np.zeros(n, dtype=np.int64)
-        accept = np.zeros(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+        accept = np.ones(n, dtype=np.float64)
 
-        small = [i for i in range(n) if prob[i] < 1.0]
-        large = [i for i in range(n) if prob[i] >= 1.0]
-        while small and large:
-            s = small.pop()
-            l = large.pop()
-            accept[s] = prob[s]
-            alias[s] = l
-            prob[l] = prob[l] - (1.0 - prob[s])
-            if prob[l] < 1.0:
-                small.append(l)
-            else:
-                large.append(l)
-        for leftover in large + small:
-            accept[leftover] = 1.0
-            alias[leftover] = leftover
+        small = np.flatnonzero(prob < 1.0)
+        large = np.flatnonzero(prob >= 1.0)
+        if build == "vectorized":
+            small, large = _alias_rounds(prob, accept, alias, small, large)
+        _alias_two_stack(prob, accept, alias, small, large)
 
         self._accept = accept
         self._alias = alias
@@ -78,6 +79,83 @@ class AliasSampler:
         idx = rng.integers(0, self._n, size=shape)
         coin = rng.random(size=idx.shape)
         return np.where(coin < self._accept[idx], idx, self._alias[idx])
+
+
+#: Bound on the vectorized matcher's rounds; distributions it cannot
+#: finish within the bound fall through to the two-stack reference loop.
+_ALIAS_MAX_ROUNDS = 64
+
+
+def _alias_rounds(
+    prob: np.ndarray,
+    accept: np.ndarray,
+    alias: np.ndarray,
+    small: np.ndarray,
+    large: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized alias-table construction by cumulative-sum matching.
+
+    Each round lines up the deficits of the small columns (``1 - p``)
+    against the excesses of the large columns (``p - 1``) on a shared
+    cumulative axis and finalizes every small column whose whole deficit
+    interval falls inside a single large column's excess interval
+    (``searchsorted`` finds the donor).  Boundary-straddling smalls are
+    deferred to the next round — at most one per donor — so the pool
+    shrinks geometrically and the interpreter cost is O(rounds), not
+    O(n).  Donations never overdraw a donor, so every finalized column
+    is exact; whatever remains after the round cap (typically nothing)
+    is returned for the two-stack reference loop to finish.
+    """
+    for _ in range(_ALIAS_MAX_ROUNDS):
+        if len(small) == 0 or len(large) == 0:
+            break
+        deficits = 1.0 - prob[small]
+        cum_d = np.cumsum(deficits)
+        cum_e = np.cumsum(prob[large] - 1.0)
+        donor = np.searchsorted(cum_e, cum_d, side="left")
+        cum_e_prev = np.concatenate(([0.0], cum_e))
+        in_range = donor < len(large)
+        fits = in_range & (cum_d - deficits >= cum_e_prev[np.minimum(donor, len(large) - 1)])
+        if not fits.any():
+            break
+        done, donor_of_done = small[fits], donor[fits]
+        accept[done] = prob[done]
+        alias[done] = large[donor_of_done]
+        donated = np.bincount(
+            donor_of_done, weights=deficits[fits], minlength=len(large)
+        )
+        prob[large] -= donated
+        still_large = prob[large] >= 1.0
+        small = np.concatenate((small[~fits], large[~still_large]))
+        large = large[still_large]
+    return small, large
+
+
+def _alias_two_stack(
+    prob: np.ndarray,
+    accept: np.ndarray,
+    alias: np.ndarray,
+    small: np.ndarray,
+    large: np.ndarray,
+) -> None:
+    """The classic two-stack build (Walker/Vose), used as reference and
+    as the finisher for whatever the vectorized rounds left behind.
+    Columns left over (floating-point residue) keep ``accept = 1``."""
+    small = list(small)
+    large = list(large)
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        accept[s] = prob[s]
+        alias[s] = l
+        prob[l] = prob[l] - (1.0 - prob[s])
+        if prob[l] < 1.0:
+            small.append(l)
+        else:
+            large.append(l)
+    for leftover in large + small:
+        accept[leftover] = 1.0
+        alias[leftover] = leftover
 
 
 def build_noise_distribution(counts: np.ndarray, alpha: float = 0.75) -> np.ndarray:
@@ -141,6 +219,20 @@ class PairGenerator:
         with probability ``(m - d + 1) / m``.
     seed:
         Randomness for subsampling and the dynamic window.
+    precompute:
+        When True, :meth:`batches` materializes the whole epoch's
+        (center, context) arrays in one vectorized pass over the
+        flattened corpus (subsampling, windowing and the dynamic-window
+        draw included) and yields slices of them, instead of re-running
+        the per-sequence Python loop every epoch.  Subsampling and the
+        dynamic window are redrawn per epoch in both modes; the RNG
+        streams differ, so the two modes are *statistically* equivalent
+        but not bit-identical.
+    shuffle:
+        Only meaningful with ``precompute``: globally shuffle the
+        materialized pairs each epoch (better SGD mixing than the
+        offset-major materialization order; streaming mode keeps corpus
+        order).
     """
 
     def __init__(
@@ -151,6 +243,8 @@ class PairGenerator:
         keep_probabilities: np.ndarray | None = None,
         dynamic_window: bool = True,
         seed: "int | np.random.Generator | None" = 0,
+        precompute: bool = False,
+        shuffle: bool = True,
     ) -> None:
         require_positive(window, "window")
         self.sequences = sequences
@@ -158,7 +252,12 @@ class PairGenerator:
         self.directional = directional
         self.keep_probabilities = keep_probabilities
         self.dynamic_window = dynamic_window
+        self.precompute = precompute
+        self.shuffle = shuffle
         self._rng = ensure_rng(seed)
+        self._flat: np.ndarray | None = None
+        self._starts: np.ndarray | None = None
+        self._lengths: np.ndarray | None = None
 
     def _subsample(self, seq: np.ndarray) -> np.ndarray:
         if self.keep_probabilities is None:
@@ -194,14 +293,106 @@ class PairGenerator:
             return empty, empty
         return np.concatenate(centers), np.concatenate(contexts)
 
+    def _flatten(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cache the corpus as one flat array + per-sequence boundaries.
+
+        Empty sequences are dropped (they contribute no pairs and would
+        corrupt the ``reduceat`` boundary bookkeeping).
+        """
+        if self._flat is None:
+            seqs = [s for s in self.sequences if len(s) > 0]
+            if seqs:
+                self._flat = np.concatenate(seqs)
+                self._lengths = np.asarray([len(s) for s in seqs], dtype=np.int64)
+            else:
+                self._flat = np.empty(0, dtype=np.int64)
+                self._lengths = np.empty(0, dtype=np.int64)
+            starts = np.zeros(len(self._lengths), dtype=np.int64)
+            np.cumsum(self._lengths[:-1], out=starts[1:])
+            self._starts = starts
+        return self._flat, self._starts, self._lengths
+
+    def materialize_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """One epoch's (centers, contexts), fully vectorized.
+
+        Subsampling is drawn over the whole flattened corpus at once and
+        the survivors are compacted *within their sequence boundaries*
+        (the word2vec discard-then-window order).  Each window offset
+        ``d`` then contributes the aligned slices ``compact[i]`` /
+        ``compact[i + d]`` for every position ``i`` with at least ``d``
+        successors left in its own sequence — no per-sequence Python
+        loop, only a loop over the ``window`` offsets.
+        """
+        flat, starts, lengths = self._flatten()
+        if len(flat) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if self.keep_probabilities is not None:
+            mask = self._rng.random(len(flat)) < self.keep_probabilities[flat]
+            compact = flat[mask]
+            new_lengths = np.add.reduceat(mask.astype(np.int64), starts)
+        else:
+            compact = flat
+            new_lengths = lengths
+        total = len(compact)
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        offsets = np.zeros(len(new_lengths), dtype=np.int64)
+        np.cumsum(new_lengths[:-1], out=offsets[1:])
+        # Tokens remaining in the same sequence from each position
+        # (inclusive of the position itself).
+        remaining = (
+            np.repeat(new_lengths, new_lengths)
+            - (np.arange(total) - np.repeat(offsets, new_lengths))
+        )
+        centers: list[np.ndarray] = []
+        contexts: list[np.ndarray] = []
+        for offset in range(1, min(self.window, int(new_lengths.max(initial=0)) - 1) + 1):
+            idx = np.flatnonzero(remaining > offset)
+            if len(idx) == 0:
+                break
+            if self.dynamic_window:
+                keep_p = (self.window - offset + 1) / self.window
+                idx = idx[self._rng.random(len(idx)) < keep_p]
+                if len(idx) == 0:
+                    continue
+            left = compact[idx]
+            right = compact[idx + offset]
+            centers.append(left)
+            contexts.append(right)
+            if not self.directional:
+                centers.append(right)
+                contexts.append(left)
+        if not centers:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        all_centers = np.concatenate(centers)
+        all_contexts = np.concatenate(contexts)
+        if self.shuffle:
+            perm = self._rng.permutation(len(all_centers))
+            all_centers = all_centers[perm]
+            all_contexts = all_contexts[perm]
+        return all_centers, all_contexts
+
     def batches(self, batch_size: int = 8192) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(centers, contexts)`` batches of roughly ``batch_size``.
 
-        One pass over the corpus = one epoch.  Pairs from consecutive
-        sequences are buffered and re-chunked so batch sizes stay stable
-        regardless of sequence lengths.
+        One pass over the corpus = one epoch.  In streaming mode, pairs
+        from consecutive sequences are buffered and re-chunked so batch
+        sizes stay stable regardless of sequence lengths; in
+        ``precompute`` mode the epoch's pairs are materialized once and
+        sliced.
         """
         require_positive(batch_size, "batch_size")
+        if self.precompute:
+            centers, contexts = self.materialize_pairs()
+            for start in range(0, len(centers), batch_size):
+                yield (
+                    centers[start : start + batch_size],
+                    contexts[start : start + batch_size],
+                )
+            return
         buf_centers: list[np.ndarray] = []
         buf_contexts: list[np.ndarray] = []
         buffered = 0
@@ -239,11 +430,22 @@ class PairGenerator:
         A cheap upper bound used for learning-rate scheduling; the exact
         realized count varies run to run because subsampling and the
         dynamic window are stochastic.
+
+        Closed form over the histogram of sequence lengths: a length-``L``
+        sequence contributes ``sum_{d=1..min(m, L-1)} (L - d)`` ordered
+        pairs per side, i.e. ``L (L - 1) / 2`` when ``L <= m + 1`` and
+        ``m L - m (m + 1) / 2`` otherwise.
         """
-        total = 0
         sides = 1 if self.directional else 2
-        for seq in self.sequences:
-            length = len(seq)
-            for offset in range(1, min(self.window, length - 1) + 1):
-                total += (length - offset) * sides
-        return total
+        lengths = np.asarray([len(seq) for seq in self.sequences], dtype=np.int64)
+        if len(lengths) == 0:
+            return 0
+        hist = np.bincount(lengths)
+        length = np.arange(len(hist), dtype=np.int64)
+        m = self.window
+        per_sequence = np.where(
+            length <= m + 1,
+            length * (length - 1) // 2,
+            m * length - m * (m + 1) // 2,
+        )
+        return int(sides * (hist * per_sequence).sum())

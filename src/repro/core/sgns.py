@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.sampling import (
     AliasSampler,
@@ -62,6 +63,22 @@ class SGNSConfig:
     duplicate_policy: str = "sum"
     max_step_norm: float | None = 0.25
     seed: int = 0
+    #: Parameter/compute dtype.  ``float32`` halves memory traffic on
+    #: the gather/einsum/scatter hot path (the updates are noise-bound
+    #: SGD steps, far above float32 resolution); ``float64`` remains the
+    #: default for bit-compatibility with the original kernels.
+    dtype: str = "float64"
+    #: Materialize each epoch's (center, context) arrays in one
+    #: vectorized pass instead of streaming the per-sequence Python loop
+    #: (see :class:`repro.core.sampling.PairGenerator`).
+    precompute_pairs: bool = True
+    #: Globally shuffle materialized pairs each epoch (precompute mode
+    #: only); better SGD mixing than offset-major order.
+    shuffle_pairs: bool = True
+    #: Duplicate-aggregation kernel: ``"segment"`` (sort + CSR segment
+    #: sum), ``"reduceat"`` (sort + ``np.add.reduceat``) or the legacy
+    #: ``"add_at"`` (``np.unique`` + ``np.add.at``).
+    scatter_impl: str = "segment"
 
     def validate(self) -> None:
         """Raise ``ValueError`` on any inconsistent setting."""
@@ -80,11 +97,26 @@ class SGNSConfig:
             )
         if self.max_step_norm is not None:
             require_positive(self.max_step_norm, "max_step_norm")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
+        if self.scatter_impl not in ("segment", "reduceat", "add_at"):
+            raise ValueError(
+                "scatter_impl must be 'segment', 'reduceat' or 'add_at',"
+                f" got {self.scatter_impl!r}"
+            )
+
+    @property
+    def param_dtype(self) -> np.dtype:
+        """The parameter matrices' NumPy dtype."""
+        return np.dtype(self.dtype)
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic function (dtype-preserving)."""
+    dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
@@ -99,6 +131,7 @@ def scatter_update(
     lr: float,
     duplicate_policy: str = "sum",
     max_step_norm: float | None = 0.25,
+    impl: str = "segment",
 ) -> None:
     """Apply ``matrix[indices] -= lr * grads`` with duplicate handling.
 
@@ -114,22 +147,68 @@ def scatter_update(
     the *aggregated* per-token step to ``max_step_norm`` — mimicking the
     self-limiting behaviour of sequential updates.  Policy ``"mean"``
     averages duplicate gradients instead (smaller steps; mainly useful
-    for experiments).  Shared by the SGNS trainer, the EGES baseline and
-    the distributed workers, so all trainers move parameters the same
-    way.
+    for experiments).  Shared by the SGNS trainer, the EGES baseline, the
+    Hogwild workers and the distributed simulation, so all trainers move
+    parameters the same way.
+
+    ``impl`` selects the duplicate-aggregation kernel.  All sort the
+    indices once and segment-sum the gradient rows; they differ in the
+    segment-sum engine:
+
+    - ``"segment"`` (default): a CSR indicator matmul (one sparse
+      GEMM over the batch — the fastest by a wide margin);
+    - ``"reduceat"``: ``np.add.reduceat`` over the sorted rows;
+    - ``"add_at"``: the seed kernel (``np.unique`` + ``np.add.at``, an
+      unbuffered per-element ufunc loop), kept as the arithmetic
+      reference and for before/after benchmarking.
+
+    Every path works in ``matrix.dtype`` — gradients are cast, not the
+    matrix — so the float32 path never silently upcasts.
     """
-    unique, inverse, counts = np.unique(
-        indices, return_inverse=True, return_counts=True
-    )
-    summed = np.zeros((len(unique), matrix.shape[1]))
-    np.add.at(summed, inverse, grads)
+    if impl not in ("segment", "reduceat", "add_at"):
+        raise ValueError(
+            f"impl must be 'segment', 'reduceat' or 'add_at', got {impl!r}"
+        )
+    if len(indices) == 0:
+        return
+    dtype = matrix.dtype
+    counts = None
+    if impl == "add_at":
+        unique, inverse, counts = np.unique(
+            indices, return_inverse=True, return_counts=True
+        )
+        summed = np.zeros((len(unique), matrix.shape[1]), dtype=dtype)
+        np.add.at(summed, inverse, grads.astype(dtype, copy=False))
+    else:
+        order = np.argsort(indices)
+        sorted_idx = indices[order]
+        boundary = np.empty(len(sorted_idx), dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        unique = sorted_idx[starts]
+        grads = np.asarray(grads, dtype=dtype)
+        if impl == "segment":
+            # Row i of the indicator selects the batch rows of unique[i];
+            # the matmul is the segment sum without gathering grads.
+            indicator = sparse.csr_matrix(
+                (np.ones(len(order), dtype=dtype), order,
+                 np.append(starts, len(order))),
+                shape=(len(starts), len(order)),
+            )
+            summed = indicator @ grads
+        else:
+            summed = np.add.reduceat(grads[order], starts, axis=0)
+        if duplicate_policy == "mean":
+            counts = np.diff(np.append(starts, len(sorted_idx)))
     if duplicate_policy == "mean":
-        summed /= counts[:, None]
-    step = lr * summed
+        summed /= counts[:, None].astype(dtype)
+    step = summed
+    step *= dtype.type(lr)
     if max_step_norm is not None:
         norms = np.linalg.norm(step, axis=1, keepdims=True)
         np.maximum(norms, max_step_norm, out=norms)
-        step *= max_step_norm / norms
+        step *= dtype.type(max_step_norm) / norms
     matrix[unique] -= step
 
 
@@ -158,10 +237,12 @@ class SGNSTrainer:
         self.vocab_size = vocab_size
         rng = ensure_rng(self.config.seed)
         d = self.config.dim
-        self.w_in = (rng.random((vocab_size, d)) - 0.5) / d
-        self.w_out = np.zeros((vocab_size, d))
+        dtype = self.config.param_dtype
+        self.w_in = (((rng.random((vocab_size, d))) - 0.5) / d).astype(dtype)
+        self.w_out = np.zeros((vocab_size, d), dtype=dtype)
         self._rng = rng
         self.loss_history: list[float] = []
+        self.pairs_trained = 0
 
     def fit(
         self,
@@ -210,6 +291,8 @@ class SGNSTrainer:
             keep_probabilities=keep,
             dynamic_window=cfg.dynamic_window,
             seed=self._rng,
+            precompute=cfg.precompute_pairs,
+            shuffle=cfg.shuffle_pairs,
         )
         # Learning-rate schedule over the expected total number of pairs.
         total_pairs = max(generator.count_pairs() * cfg.epochs, 1)
@@ -225,6 +308,7 @@ class SGNSTrainer:
                 loss = self._update_batch(centers, contexts, sampler, lr)
                 batch = len(centers)
                 seen += batch
+                self.pairs_trained += batch
                 epoch_loss += loss * batch
                 epoch_pairs += batch
             mean_loss = epoch_loss / max(epoch_pairs, 1)
@@ -265,9 +349,13 @@ class SGNSTrainer:
         grad_c_neg = g_neg[..., None] * w_c[:, None, :]
 
         self._scatter(self.w_in, centers, grad_w, lr)
-        self._scatter(self.w_out, contexts, grad_c_pos, lr)
+        # Positive-context and negative rows hit the same matrix in the
+        # same step; one combined scatter sorts (and clips) them once.
         self._scatter(
-            self.w_out, negatives.ravel(), grad_c_neg.reshape(-1, cfg.dim), lr
+            self.w_out,
+            np.concatenate((contexts, negatives.ravel())),
+            np.concatenate((grad_c_pos, grad_c_neg.reshape(-1, cfg.dim))),
+            lr,
         )
 
         with np.errstate(divide="ignore"):
@@ -286,4 +374,5 @@ class SGNSTrainer:
             lr,
             duplicate_policy=self.config.duplicate_policy,
             max_step_norm=self.config.max_step_norm,
+            impl=self.config.scatter_impl,
         )

@@ -40,7 +40,8 @@ from repro.utils import get_logger, require
 
 logger = get_logger("core.sisg")
 
-_ENGINES = ("local", "distributed")
+_ENGINES = ("local", "parallel", "distributed")
+_SHARD_STRATEGIES = ("contiguous", "hbgp")
 
 
 def kind_aware_keep(corpus: EnrichedCorpus, threshold: float) -> "np.ndarray":
@@ -86,10 +87,19 @@ class SISGConfig:
         Hyper-parameters of the underlying SGNS trainer.  Its
         ``directional`` flag is overridden by this config's.
     engine:
-        ``"local"`` (single-machine trainer) or ``"distributed"`` (the
-        simulated multi-worker TNS/ATNS engine of Section III).
+        ``"local"`` (single-process trainer), ``"parallel"`` (the
+        shared-memory Hogwild engine of
+        :mod:`repro.core.hogwild`) or ``"distributed"`` (the simulated
+        multi-worker TNS/ATNS engine of Section III).
     n_workers:
-        Worker count for the distributed engine (ignored by ``local``).
+        Worker count for the parallel and distributed engines (ignored
+        by ``local``).
+    shard_strategy:
+        Sequence-sharding policy for the parallel engine:
+        ``"contiguous"`` (pair-count balanced) or ``"hbgp"`` (route each
+        sequence to the worker owning the majority of its items'
+        HBGP partitions; the partition is computed from the dataset at
+        fit time).
     scale_faithful_subsampling:
         When True (default) and SI tokens are in play, subsampling is
         applied to SI/user-type tokens only — the behaviour the paper's
@@ -104,6 +114,7 @@ class SISGConfig:
     sgns: SGNSConfig = field(default_factory=SGNSConfig)
     engine: str = "local"
     n_workers: int = 4
+    shard_strategy: str = "contiguous"
     scale_faithful_subsampling: bool = True
 
     def validate(self) -> None:
@@ -112,6 +123,11 @@ class SISGConfig:
             f"engine must be one of {_ENGINES}, got {self.engine!r}",
         )
         require(self.n_workers >= 1, f"n_workers must be >= 1, got {self.n_workers}")
+        require(
+            self.shard_strategy in _SHARD_STRATEGIES,
+            f"shard_strategy must be one of {_SHARD_STRATEGIES},"
+            f" got {self.shard_strategy!r}",
+        )
         self.sgns.validate()
 
     @property
@@ -158,6 +174,7 @@ class SISG:
     ) -> "SISG":
         engine = sgns_kwargs.pop("engine", "local")
         n_workers = sgns_kwargs.pop("n_workers", 4)
+        shard_strategy = sgns_kwargs.pop("shard_strategy", "contiguous")
         return cls(
             SISGConfig(
                 use_si=use_si,
@@ -166,6 +183,7 @@ class SISG:
                 sgns=SGNSConfig(**sgns_kwargs),
                 engine=engine,
                 n_workers=n_workers,
+                shard_strategy=shard_strategy,
             )
         )
 
@@ -257,6 +275,28 @@ class SISG:
                 corpus.sequences, corpus.vocab.counts, keep_probabilities=keep
             )
             w_in, w_out = trainer.w_in, trainer.w_out
+        elif cfg.engine == "parallel":
+            # Imported lazily to keep the default path light.
+            from repro.core.hogwild import ParallelSGNSTrainer
+
+            token_partition = None
+            if cfg.shard_strategy == "hbgp":
+                token_partition = self._hbgp_token_partition(
+                    dataset, corpus.vocab, cfg.n_workers
+                )
+            parallel = ParallelSGNSTrainer(
+                len(corpus.vocab),
+                sgns_cfg,
+                n_workers=cfg.n_workers,
+                shard_strategy=cfg.shard_strategy,
+            )
+            parallel.fit(
+                corpus.sequences,
+                corpus.vocab.counts,
+                keep_probabilities=keep,
+                token_partition=token_partition,
+            )
+            w_in, w_out = parallel.w_in, parallel.w_out
         else:
             # Imported lazily: repro.distributed depends on repro.core.
             from repro.distributed.engine import train_distributed
@@ -271,6 +311,27 @@ class SISG:
         self.index = SimilarityIndex(self.model, mode=mode)
         self._dataset = dataset
         return self
+
+    @staticmethod
+    def _hbgp_token_partition(
+        dataset: BehaviorDataset, vocab, n_workers: int
+    ) -> np.ndarray:
+        """Token-id -> worker-id map from an HBGP item partition.
+
+        Item tokens inherit their item's partition; SI and user-type
+        tokens stay unowned (``-1``) — they are hubs shared by every
+        shard, exactly the rows the Hogwild engine replicates.
+        """
+        from repro.graph.hbgp import HBGPConfig, hbgp_partition
+
+        result = hbgp_partition(dataset, HBGPConfig(n_partitions=n_workers))
+        token_partition = np.full(len(vocab), -1, dtype=np.int64)
+        item_tokens = vocab.ids_of_kind(TokenKind.ITEM)
+        item_ids = np.asarray(
+            [vocab.item_id_of(int(t)) for t in item_tokens], dtype=np.int64
+        )
+        token_partition[item_tokens] = result.item_partition[item_ids]
+        return token_partition
 
     def _require_fitted(self) -> None:
         if self.model is None or self.index is None:

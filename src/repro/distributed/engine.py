@@ -199,6 +199,8 @@ def train_distributed(
         keep_probabilities=keep,
         dynamic_window=config.dynamic_window,
         seed=master_rng,
+        precompute=config.precompute_pairs,
+        shuffle=config.shuffle_pairs,
     )
     total_pairs = max(generator.count_pairs() * config.epochs, 1)
     min_lr = config.learning_rate * config.min_lr_fraction
@@ -254,6 +256,7 @@ def train_distributed(
                 lr,
                 duplicate_policy=config.duplicate_policy,
                 max_step_norm=config.max_step_norm,
+                impl=config.scatter_impl,
             )
         rest = ~mask
         if rest.any():
@@ -264,6 +267,7 @@ def train_distributed(
                 lr,
                 duplicate_policy=config.duplicate_policy,
                 max_step_norm=config.max_step_norm,
+                impl=config.scatter_impl,
             )
 
     for epoch in range(config.epochs):
@@ -322,6 +326,7 @@ def train_distributed(
                     lr,
                     duplicate_policy=config.duplicate_policy,
                     max_step_norm=config.max_step_norm,
+                    impl=config.scatter_impl,
                 )
 
                 # --- time accounting ---------------------------------

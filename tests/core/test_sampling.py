@@ -235,3 +235,192 @@ class TestPairGenerator:
         for d in range(1, min(window, len(seq) - 1) + 1):
             expected += len(seq) - d
         assert len(centers) == expected
+
+
+class TestVectorizedAliasBuild:
+    """The vectorized table construction must encode the same
+    distribution as the reference two-stack loop."""
+
+    @staticmethod
+    def table_distribution(sampler: AliasSampler) -> np.ndarray:
+        """Reconstruct q from (accept, alias): each slot contributes
+        accept/n to itself and (1-accept)/n to its alias."""
+        n = len(sampler)
+        q = np.zeros(n)
+        np.add.at(q, np.arange(n), sampler._accept / n)
+        np.add.at(q, sampler._alias, (1.0 - sampler._accept) / n)
+        return q
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            np.ones(7),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            1.0 / np.arange(1, 2000) ** 1.2,  # power law
+            np.array([1e6, 1.0, 1.0, 1e-6, 0.0, 3.0]),
+        ],
+        ids=["uniform", "ramp", "powerlaw", "extreme"],
+    )
+    def test_table_encodes_distribution(self, weights):
+        sampler = AliasSampler(weights)
+        q = np.asarray(weights, dtype=np.float64)
+        q = q / q.sum()
+        np.testing.assert_allclose(self.table_distribution(sampler), q,
+                                   atol=1e-12)
+
+    def test_matches_loop_build_distribution(self):
+        rng = np.random.default_rng(0)
+        weights = rng.dirichlet(np.full(500, 0.1))
+        fast = AliasSampler(weights, build="vectorized")
+        slow = AliasSampler(weights, build="loop")
+        np.testing.assert_allclose(
+            self.table_distribution(fast),
+            self.table_distribution(slow),
+            atol=1e-12,
+        )
+
+    def test_rejects_unknown_build(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.ones(3), build="magic")
+
+    @given(
+        st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=200)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_table_distribution_property(self, weights):
+        w = np.asarray(weights)
+        if w.sum() <= 0:
+            return
+        sampler = AliasSampler(w)
+        np.testing.assert_allclose(
+            self.table_distribution(sampler), w / w.sum(), atol=1e-9
+        )
+
+
+class TestCountPairsClosedForm:
+    """Satellite: the bincount closed form must pin to the per-sequence
+    loop values."""
+
+    @staticmethod
+    def loop_count(sequences, window, directional):
+        sides = 1 if directional else 2
+        total = 0
+        for seq in sequences:
+            length = len(seq)
+            if length <= window + 1:
+                total += sides * length * (length - 1) // 2
+            else:
+                total += sides * (window * length - window * (window + 1) // 2)
+        return total
+
+    @pytest.mark.parametrize("window", [1, 2, 5, 9])
+    @pytest.mark.parametrize("directional", [False, True])
+    def test_matches_loop(self, window, directional):
+        rng = np.random.default_rng(42)
+        sequences = [
+            np.zeros(int(n), dtype=np.int64)
+            for n in rng.integers(0, 25, size=200)
+        ]
+        gen = PairGenerator(
+            sequences, window=window, directional=directional,
+            dynamic_window=False,
+        )
+        assert gen.count_pairs() == self.loop_count(
+            sequences, window, directional
+        )
+
+    def test_empty_corpus(self):
+        gen = PairGenerator([np.array([], dtype=np.int64)], window=3)
+        assert gen.count_pairs() == 0
+
+
+class TestPrecomputedPairs:
+    """Satellite: precompute mode and batches() edge cases."""
+
+    def test_materialized_pairs_match_streaming_set(self):
+        sequences = seqs([0, 1, 2, 3], [4, 5, 6], [7, 8])
+        stream = PairGenerator(sequences, window=2, dynamic_window=False)
+        pre = PairGenerator(
+            sequences, window=2, dynamic_window=False,
+            precompute=True, shuffle=False,
+        )
+        want = set()
+        for c, x in stream.batches(100):
+            want |= set(zip(c.tolist(), x.tolist()))
+        got = set()
+        for c, x in pre.batches(100):
+            got |= set(zip(c.tolist(), x.tolist()))
+        assert got == want
+
+    def test_materialized_count_matches_count_pairs(self):
+        sequences = seqs(*[list(range(9))] * 17)
+        gen = PairGenerator(
+            sequences, window=3, dynamic_window=False,
+            precompute=True, shuffle=True, seed=1,
+        )
+        total = sum(len(c) for c, _ in gen.batches(50))
+        assert total == gen.count_pairs()
+
+    @pytest.mark.parametrize("precompute", [False, True])
+    def test_remainder_flushed_across_short_sequences(self, precompute):
+        # 100 sequences of 2 tokens -> 1 directional pair each; batch 7
+        # leaves a remainder of 2 that must still be yielded.
+        sequences = seqs(*[[i, i + 1] for i in range(100)])
+        gen = PairGenerator(
+            sequences, window=1, directional=True, dynamic_window=False,
+            precompute=precompute, shuffle=False,
+        )
+        batches = list(gen.batches(7))
+        assert sum(len(c) for c, _ in batches) == 100
+        assert all(len(c) == 7 for c, _ in batches[:-1])
+        assert len(batches[-1][0]) == 100 % 7
+
+    @pytest.mark.parametrize("precompute", [False, True])
+    def test_exact_multiple_of_batch_no_empty_tail(self, precompute):
+        # 24 directional pairs, batch 8 -> exactly 3 full batches.
+        sequences = seqs(*[[0, 1] for _ in range(24)])
+        gen = PairGenerator(
+            sequences, window=1, directional=True, dynamic_window=False,
+            precompute=precompute, shuffle=False,
+        )
+        batches = list(gen.batches(8))
+        assert [len(c) for c, _ in batches] == [8, 8, 8]
+
+    @pytest.mark.parametrize("precompute", [False, True])
+    def test_all_subsampled_away_yields_nothing(self, precompute):
+        keep = np.zeros(3)
+        sequences = seqs([0, 1, 2], [2, 1, 0])
+        gen = PairGenerator(
+            sequences, window=2, keep_probabilities=keep,
+            dynamic_window=False, seed=0,
+            precompute=precompute, shuffle=False,
+        )
+        assert list(gen.batches(4)) == []
+
+    def test_precompute_handles_empty_sequences(self):
+        sequences = seqs([], [0, 1, 2], [], [3, 4])
+        gen = PairGenerator(
+            sequences, window=2, dynamic_window=False,
+            precompute=True, shuffle=False,
+        )
+        total = sum(len(c) for c, _ in gen.batches(100))
+        assert total == gen.count_pairs()
+
+    def test_precompute_shuffle_preserves_multiset(self):
+        sequences = seqs(list(range(12)))
+        plain = PairGenerator(
+            sequences, window=2, dynamic_window=False,
+            precompute=True, shuffle=False,
+        )
+        shuffled = PairGenerator(
+            sequences, window=2, dynamic_window=False,
+            precompute=True, shuffle=True, seed=9,
+        )
+        def collect(g):
+            return sorted(
+                pair
+                for c, x in g.batches(1000)
+                for pair in zip(c.tolist(), x.tolist())
+            )
+
+        assert collect(plain) == collect(shuffled)

@@ -207,3 +207,93 @@ class TestTraining:
         cfg = SGNSConfig(dim=4, epochs=1, window=1, subsample_threshold=0, seed=0)
         trainer = SGNSTrainer(4, cfg).fit(seqs, counts)
         assert np.all(trainer.w_out[3] == 0.0)
+
+
+class TestScatterImplementations:
+    """The three duplicate-aggregation kernels must agree, and the
+    float32 path must not silently upcast (satellite fix)."""
+
+    @staticmethod
+    def run_impl(impl, dtype, policy="sum"):
+        rng = np.random.default_rng(7)
+        matrix = rng.standard_normal((50, 8)).astype(dtype)
+        indices = rng.integers(0, 50, size=200)
+        grads = rng.standard_normal((200, 8)).astype(dtype)
+        out = matrix.copy()
+        scatter_update(
+            out, indices, grads, lr=0.1, duplicate_policy=policy, impl=impl
+        )
+        return out
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("policy", ["sum", "mean"])
+    def test_segment_and_reduceat_match_add_at(self, dtype, policy):
+        ref = self.run_impl("add_at", dtype, policy)
+        tol = 1e-12 if dtype == np.float64 else 1e-5
+        for impl in ("segment", "reduceat"):
+            np.testing.assert_allclose(
+                self.run_impl(impl, dtype, policy), ref, atol=tol, rtol=tol
+            )
+
+    @pytest.mark.parametrize("impl", ["segment", "reduceat", "add_at"])
+    def test_float32_matrix_stays_float32(self, impl):
+        out = self.run_impl(impl, np.float32)
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize("impl", ["segment", "reduceat", "add_at"])
+    def test_empty_indices_noop(self, impl):
+        matrix = np.ones((4, 3))
+        before = matrix.copy()
+        scatter_update(
+            matrix, np.array([], dtype=np.int64), np.zeros((0, 3)), 0.1,
+            impl=impl,
+        )
+        np.testing.assert_array_equal(matrix, before)
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(ValueError):
+            scatter_update(
+                np.zeros((2, 2)), np.array([0]), np.ones((1, 2)), 0.1,
+                impl="magic",
+            )
+
+    @pytest.mark.parametrize("impl", ["segment", "reduceat"])
+    def test_clipping_matches_add_at(self, impl):
+        rng = np.random.default_rng(3)
+        matrix = np.zeros((10, 4))
+        indices = rng.integers(0, 10, size=40)
+        grads = 100.0 * rng.standard_normal((40, 4))
+        ref = matrix.copy()
+        out = matrix.copy()
+        scatter_update(ref, indices, grads, 0.5, max_step_norm=0.25,
+                       impl="add_at")
+        scatter_update(out, indices, grads, 0.5, max_step_norm=0.25,
+                       impl=impl)
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+
+class TestDtypeSwitch:
+    def test_float32_trainer_params_and_updates(self):
+        seqs, counts = forward_chain_corpus(n_seqs=100)
+        cfg = SGNSConfig(dim=8, epochs=1, window=2, dtype="float32", seed=0)
+        trainer = SGNSTrainer(30, cfg).fit(seqs, counts)
+        assert trainer.w_in.dtype == np.float32
+        assert trainer.w_out.dtype == np.float32
+        assert np.all(np.isfinite(trainer.w_in))
+
+    def test_sigmoid_preserves_float32(self):
+        x = np.linspace(-5, 5, 11, dtype=np.float32)
+        assert sigmoid(x).dtype == np.float32
+
+    def test_float32_quality_close_to_float64(self):
+        seqs, counts = forward_chain_corpus(n_seqs=800)
+        losses = {}
+        for dt in ("float64", "float32"):
+            cfg = SGNSConfig(
+                dim=16, epochs=2, window=2, dtype=dt,
+                subsample_threshold=0, seed=1,
+            )
+            losses[dt] = SGNSTrainer(30, cfg).fit(seqs, counts).loss_history[-1]
+        assert abs(losses["float32"] - losses["float64"]) < 0.1 * abs(
+            losses["float64"]
+        )
