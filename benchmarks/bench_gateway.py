@@ -1,0 +1,249 @@
+"""Extension bench — the network gateway vs in-process serving.
+
+Not a paper figure: quantifies what the serving stack pays (and wins)
+when requests cross a socket.  One world + model, then per shard count
+(1 / 2 / 4):
+
+- **in-process baseline** — the same request stream replayed through
+  ``run_load`` (micro-batched, cache off), the ceiling no network stack
+  can beat;
+- **over-the-wire** — a :class:`~repro.serving.gateway.RecommendGateway`
+  on localhost driven by the multi-process open-loop network loadgen
+  (:func:`~repro.serving.netload.run_netload`): QPS and p50/p95/p99
+  with real sockets, HTTP parsing and request coalescing in the path.
+  This is where scatter fan-out across shards has to earn its keep
+  against the dispatcher's coordination cost.
+
+Plus one **overload scenario**: a deliberately tiny coalescing queue
+(high water 8) offered ~4x what the service can absorb.  The contract is
+that the gateway *sheds* (429 + counter) instead of queueing without
+bound — shed rate > 0, error rate == 0, and the served tail stays
+bounded by the latency budget.
+
+Writes ``benchmarks/BENCH_gateway.json``.  Runs under pytest
+(``pytest benchmarks/bench_gateway.py``) or standalone
+(``python benchmarks/bench_gateway.py [--smoke]``).
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.core.sisg import SISG
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.graph.hbgp import HBGPConfig, hbgp_partition
+from repro.serving import (
+    GatewayConfig,
+    GatewayThread,
+    LoadMix,
+    MatchingService,
+    MatchingServiceConfig,
+    ModelStore,
+    NetLoadConfig,
+    ShardedMatchingService,
+    ShardedModelStore,
+    build_bundle,
+    run_load,
+    run_netload,
+    synth_requests,
+)
+
+REPORT_PATH = Path(__file__).resolve().parent / "BENCH_gateway.json"
+
+WORLD = SyntheticWorldConfig(
+    n_items=500,
+    n_users=200,
+    n_leaf_categories=16,
+    n_top_categories=4,
+)
+SHARD_COUNTS = (1, 2, 4)
+N_REQUESTS = 1200
+# Offered above single-box capacity on purpose: the open-loop arrivals
+# front-load a queue, so the measured network QPS is the gateway's
+# *throughput*, not an echo of the offered rate.
+OFFERED_RATE = 4000.0
+K = 10
+MIX = LoadMix(0.7, 0.1, 0.1, 0.1)
+
+
+def build_setup(seed: int = 0):
+    world = SyntheticWorld(WORLD, seed=seed)
+    dataset = world.generate_dataset(n_sessions=1500)
+    model = SISG.sisg_f_u(
+        dim=24, epochs=2, window=2, negatives=5, seed=seed
+    ).fit(dataset).model
+    return dataset, model
+
+
+def build_service(model, dataset, n_shards: int, seed: int = 0):
+    """Cache off on every path so the numbers measure compute + transport."""
+    config = MatchingServiceConfig(default_k=K, cache_size=0)
+    if n_shards <= 1:
+        bundle = build_bundle(
+            model, dataset, n_cells=None, table_coverage=0.9, seed=seed
+        )
+        return MatchingService(ModelStore(bundle), config)
+    partition = hbgp_partition(dataset, HBGPConfig(n_partitions=n_shards))
+    store = ShardedModelStore.build(
+        model, dataset, partition, n_cells=None, table_coverage=0.9, seed=seed
+    )
+    return ShardedMatchingService(store, config)
+
+
+def measure_shard(
+    model, dataset, n_shards: int, n_requests: int, seed: int = 0
+) -> dict:
+    """In-process vs over-the-wire for one shard count."""
+    requests = synth_requests(dataset, n_requests, mix=MIX, seed=seed)
+
+    inproc_service = build_service(model, dataset, n_shards, seed)
+    inproc = run_load(inproc_service, requests, k=K, batch_size=16)
+
+    net_service = build_service(model, dataset, n_shards, seed)
+    gateway_config = GatewayConfig(
+        port=0, max_batch=32, max_wait_ms=2.0, queue_high_water=4096,
+        latency_budget_ms=None,
+    )
+    with GatewayThread(net_service, gateway_config) as gateway:
+        network = run_netload(
+            dataset,
+            NetLoadConfig(
+                port=gateway.port,
+                n_requests=n_requests,
+                rate=OFFERED_RATE,
+                n_processes=2,
+                connections=8,
+                k=K,
+            ),
+            mix=MIX,
+            seed=seed,
+        )
+    counters = network["gateway"]["counters"]
+    return {
+        "n_shards": n_shards,
+        "inprocess": {
+            "qps": inproc["qps"],
+            "latency_s": inproc["latency_s"],
+            "failures": inproc["failures"],
+        },
+        "network": {
+            "qps": network["qps"],
+            "achieved_rate": network["achieved_rate"],
+            "latency_s": network["latency_s"],
+            "ok": network["ok"],
+            "shed": network["shed"],
+            "errors": network["errors"],
+            "coalesced_batches": counters.get("gateway_coalesced_batches", 0),
+            "coalesced_requests": counters.get("gateway_coalesced_requests", 0),
+        },
+        "wire_overhead_qps_ratio": (
+            network["qps"] / inproc["qps"] if inproc["qps"] else 0.0
+        ),
+    }
+
+
+def measure_overload(model, dataset, n_requests: int, seed: int = 0) -> dict:
+    """Offer far more than the service absorbs; shedding must engage."""
+    service = build_service(model, dataset, 1, seed)
+    config = GatewayConfig(
+        port=0,
+        max_batch=8,
+        max_wait_ms=5.0,
+        queue_high_water=8,
+        latency_budget_ms=100.0,
+        executor_threads=1,
+    )
+    with GatewayThread(service, config) as gateway:
+        report = run_netload(
+            dataset,
+            NetLoadConfig(
+                port=gateway.port,
+                n_requests=n_requests,
+                rate=6000.0,
+                n_processes=2,
+                connections=32,
+                k=K,
+                timeout_s=30.0,
+            ),
+            mix=LoadMix(1.0, 0.0, 0.0, 0.0),
+            seed=seed,
+        )
+    counters = report["gateway"]["counters"]
+    return {
+        "offered_rate": report["offered_rate"],
+        "ok": report["ok"],
+        "shed": report["shed"],
+        "errors": report["errors"],
+        "shed_rate": report["shed_rate"],
+        "qps": report["qps"],
+        "latency_s": report["latency_s"],
+        "shed_queue_full": counters.get("gateway_shed_queue_full", 0),
+        "shed_expired": counters.get("gateway_shed_expired", 0),
+    }
+
+
+def run(seed: int = 0, smoke: bool = False) -> dict:
+    import os
+
+    n_requests = 300 if smoke else N_REQUESTS
+    dataset, model = build_setup(seed)
+    return {
+        # Loadgen processes and the gateway share these cores; on a
+        # 1-core box the wire numbers include client CPU contention.
+        "cpu_count": os.cpu_count(),
+        "offered_rate": OFFERED_RATE,
+        "shards": [
+            measure_shard(model, dataset, n, n_requests, seed)
+            for n in SHARD_COUNTS
+        ],
+        "overload": measure_overload(model, dataset, n_requests, seed),
+    }
+
+
+def check_report(report: dict) -> None:
+    """Contract asserted by pytest and main() alike."""
+    counts = [entry["n_shards"] for entry in report["shards"]]
+    assert counts == list(SHARD_COUNTS)
+    for entry in report["shards"]:
+        net = entry["network"]
+        assert net["errors"] == 0, f"network errors at {entry['n_shards']} shards"
+        assert net["qps"] > 0
+        assert net["coalesced_batches"] > 0, "coalescing never engaged"
+        # Coalescing means strictly fewer batches than requests.
+        assert net["coalesced_batches"] < net["coalesced_requests"]
+        assert entry["inprocess"]["failures"] == 0
+        for quantile in ("p50", "p95", "p99"):
+            assert net["latency_s"][quantile] >= 0.0
+    overload = report["overload"]
+    assert overload["errors"] == 0, "overload must shed, not error"
+    assert overload["shed"] > 0 and overload["shed_rate"] > 0.0, (
+        "load shedding never engaged under overload"
+    )
+    assert overload["ok"] > 0, "overload starved every request"
+
+
+def test_gateway_report():
+    report = run(seed=0, smoke=True)
+    check_report(report)
+    print("\nExtension — network gateway report (JSON)")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller request counts; asserts the contract, skips the report file",
+    )
+    args = parser.parse_args()
+    report = run(seed=0, smoke=args.smoke)
+    check_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not args.smoke:
+        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,9 +16,15 @@ Commands mirror the production workflow:
   report QPS / cache hit rate / per-tier tail latency as JSON;
 - ``sisg refresh-daemon`` — run nightly refresh cycles (warm-start →
   build → swap) against a live service, with retry/backoff, a circuit
-  breaker, a drift gate and optional fault injection.
+  breaker, a drift gate and optional fault injection;
+- ``sisg serve`` — stand the network gateway up on a real socket:
+  HTTP ``/recommend`` with request coalescing, load shedding, and
+  (``--refresh-every``) swap-coordinated nightly refreshes;
+- ``sisg netload`` — multi-process open-loop network load against a
+  running gateway; reports QPS, p50/p95/p99, shed and error rates.
 
-``serve-demo``, ``loadgen`` and ``refresh-daemon`` accept ``--shards N``
+``serve-demo``, ``loadgen``, ``refresh-daemon`` and ``serve`` accept
+``--shards N``
 to serve from HBGP-sharded per-partition stores behind the
 scatter-gather dispatcher (``--shard-executor process`` runs one worker
 process per shard).
@@ -197,6 +203,87 @@ def _add_shard_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve", help="run the network gateway over a live matching service"
+    )
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("model", help="model path prefix (from `sisg train`)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8460)
+    p.add_argument(
+        "--max-batch", type=int, default=32, help="coalescing batch cap"
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window: max ms a queued request waits for peers",
+    )
+    p.add_argument(
+        "--high-water",
+        type=int,
+        default=512,
+        help="shed (429) while this many requests are queued",
+    )
+    p.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=250.0,
+        help="shed queued requests older than this at dispatch (0 disables)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = serve until interrupted)",
+    )
+    p.add_argument(
+        "--refresh-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the nightly refresh daemon at this interval, with"
+        " promotions coordinated through the gateway's swap gate",
+    )
+    p.add_argument("--table-coverage", type=float, default=0.8)
+    p.add_argument("--cells", type=int, default=None, help="IVF cells")
+    p.add_argument("--seed", type=int, default=0)
+    _add_shard_args(p)
+
+
+def _add_netload(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "netload",
+        help="open-loop network load against a running gateway"
+        " (exits 1 when any request errored)",
+    )
+    p.add_argument("dataset", help="dataset .npz bundle (shapes the traffic)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8460)
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="total offered arrival rate, requests/second (open loop)",
+    )
+    p.add_argument("--processes", type=int, default=2)
+    p.add_argument(
+        "--connections", type=int, default=8, help="connections per process"
+    )
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument(
+        "--mix",
+        default="0.7,0.1,0.1,0.1",
+        help="warm,cold_item,cold_user,unknown weights (renormalized)",
+    )
+    p.add_argument("--zipf-a", type=float, default=1.2)
+    p.add_argument("--timeout", type=float, default=15.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="also write the JSON report here")
+
+
 def _add_loadgen(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "loadgen", help="synthetic load against the matching service"
@@ -240,6 +327,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_demo(sub)
     _add_loadgen(sub)
     _add_refresh_daemon(sub)
+    _add_serve(sub)
+    _add_netload(sub)
     return parser
 
 
@@ -257,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve-demo": _cmd_serve_demo,
         "loadgen": _cmd_loadgen,
         "refresh-daemon": _cmd_refresh_daemon,
+        "serve": _cmd_serve,
+        "netload": _cmd_netload,
     }
     return handlers[args.command](args)
 
@@ -597,6 +688,121 @@ def _cmd_refresh_daemon(args: argparse.Namespace) -> int:
         Path(args.output).write_text(text + "\n")
     promotions = sum(1 for r in status["history"] if r["promoted"])
     return 0 if promotions > 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stand the gateway up on a socket; serve until --duration or ^C."""
+    import json
+    import time
+
+    from repro.serving import GatewayConfig, GatewayThread
+
+    dataset, model, store, service = _build_service(args)
+    sharded = hasattr(store, "n_shards")
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_high_water=args.high_water,
+        latency_budget_ms=(
+            args.latency_budget_ms if args.latency_budget_ms > 0 else None
+        ),
+        default_k=10,
+    )
+    gateway = GatewayThread(service, config)
+    daemon = None
+    try:
+        gateway.start()
+        print(
+            f"gateway listening on http://{args.host}:{gateway.port}"
+            f" (coalescing <= {args.max_batch} reqs / {args.max_wait_ms:g}ms,"
+            f" shed past {args.high_water} queued)",
+            flush=True,
+        )
+        if args.refresh_every is not None:
+            from repro.core.sgns import SGNSConfig
+            from repro.serving import (
+                RefreshConfig,
+                RefreshDaemon,
+                bootstrap_day_source,
+            )
+
+            daemon = RefreshDaemon(
+                service,
+                bootstrap_day_source(dataset, seed=args.seed),
+                RefreshConfig(
+                    interval=args.refresh_every,
+                    train_config=SGNSConfig(
+                        dim=model.dim, epochs=1, window=2, negatives=2,
+                        seed=args.seed,
+                    ),
+                    build_kwargs={
+                        "n_cells": args.cells,
+                        "table_coverage": args.table_coverage,
+                        "seed": args.seed,
+                    },
+                ),
+                promote_gate=gateway.swap_gate,
+                seed=args.seed,
+            )
+            daemon.start()
+            print(
+                f"refresh daemon attached (every {args.refresh_every:g}s,"
+                " promotions through the swap gate)",
+                flush=True,
+            )
+        deadline = time.monotonic() + args.duration if args.duration > 0 else None
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        if daemon is not None:
+            daemon.stop()
+        gateway.stop()
+        if sharded:
+            service.close()
+    print(json.dumps(gateway.gateway.metrics_snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_netload(args: argparse.Namespace) -> int:
+    """Drive a running gateway; exits 1 when any request errored."""
+    import json
+    from pathlib import Path
+
+    from repro.data.io_utils import load_dataset
+    from repro.serving import LoadMix, NetLoadConfig, run_netload
+
+    weights = [float(part) for part in args.mix.split(",")]
+    if len(weights) != 4:
+        print("--mix needs exactly 4 comma-separated weights", file=sys.stderr)
+        return 2
+    dataset = load_dataset(args.dataset)
+    config = NetLoadConfig(
+        host=args.host,
+        port=args.port,
+        n_requests=args.requests,
+        rate=args.rate,
+        n_processes=args.processes,
+        connections=args.connections,
+        k=args.k,
+        timeout_s=args.timeout,
+    )
+    report = run_netload(
+        dataset,
+        config,
+        mix=LoadMix(*weights),
+        zipf_a=args.zipf_a,
+        seed=args.seed,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    return 0 if report["errors"] == 0 else 1
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:

@@ -25,6 +25,26 @@ from repro.utils import ensure_rng, get_logger, require, require_positive
 
 logger = get_logger("core.ann")
 
+#: Query blocks are zero-padded to a multiple of this many rows before
+#: the score GEMM.  BLAS picks different kernels (different accumulation
+#: orders) for different row counts, so ``(Q @ B)[i]`` and
+#: ``(Q[i:i+1] @ B)[0]`` can disagree by an ulp; a fixed block multiple
+#: pins the kernel, making every row's scores independent of how many
+#: queries share the call.  The serving layer's request coalescer relies
+#: on this: micro-batched answers are byte-identical to singles.
+_GEMM_BLOCK = 32
+
+
+def _blocked_matmul(queries: np.ndarray, base_t: np.ndarray) -> np.ndarray:
+    """``queries @ base_t`` with the row count padded to ``_GEMM_BLOCK``."""
+    m = len(queries)
+    padded = -(-m // _GEMM_BLOCK) * _GEMM_BLOCK
+    if padded == m:
+        return queries @ base_t
+    block = np.zeros((padded, queries.shape[1]))
+    block[:m] = queries
+    return (block @ base_t)[:m]
+
 
 def kmeans(
     vectors: np.ndarray,
@@ -143,21 +163,27 @@ class IVFIndex:
     def topk(
         self, item_id: int, k: int, n_probe: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Approximate top-``k`` for ``item_id`` scanning ``n_probe`` cells."""
-        require_positive(k, "k")
-        query = self._exact.query_vector(int(item_id))
-        return self._search(query, k, n_probe, exclude_item=int(item_id))
+        """Approximate top-``k`` for ``item_id`` scanning ``n_probe`` cells.
+
+        Delegates to :meth:`topk_batch` with a one-item batch: singles
+        and micro-batches share one code path (and one GEMM kernel), so
+        the serving layer's coalescer cannot change an answer.
+        """
+        ids, scores = self.topk_batch(
+            np.asarray([int(item_id)], dtype=np.int64), k, n_probe=n_probe
+        )
+        valid = ids[0] >= 0
+        return ids[0][valid], scores[0][valid]
 
     def topk_by_vector(
         self, vector: np.ndarray, k: int, n_probe: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Approximate top-``k`` for an arbitrary query vector."""
-        require_positive(k, "k")
-        vector = np.asarray(vector, dtype=np.float64)
-        norm = np.linalg.norm(vector)
-        if norm > 0:
-            vector = vector / norm
-        return self._search(vector, k, n_probe, exclude_item=None)
+        ids, scores = self.topk_by_vector_batch(
+            np.asarray(vector, dtype=np.float64)[None, :], k, n_probe=n_probe
+        )
+        valid = ids[0] >= 0
+        return ids[0][valid], scores[0][valid]
 
     def topk_by_vector_batch(
         self,
@@ -222,7 +248,7 @@ class IVFIndex:
     ) -> tuple[np.ndarray, np.ndarray]:
         probes = self.n_probe if n_probe is None else min(n_probe, self.n_cells)
         n_queries = len(queries)
-        cell_scores = queries @ self._centroids.T
+        cell_scores = _blocked_matmul(queries, self._centroids.T)
         if probes < self.n_cells:
             probe_cells = np.argpartition(-cell_scores, probes - 1, axis=1)[
                 :, :probes
@@ -243,7 +269,7 @@ class IVFIndex:
             [np.full(len(cell), c, dtype=np.int64) for c, cell in zip(union, cells)]
         )
 
-        scores = queries @ self._candidates[rows].T
+        scores = _blocked_matmul(queries, self._candidates[rows].T)
         scores[~probed[:, cell_of_row]] = -np.inf
         if exclude_items is not None:
             scores[self._item_ids[rows][None, :] == exclude_items[:, None]] = -np.inf
@@ -261,27 +287,6 @@ class IVFIndex:
         ids_out[invalid] = -1
         scores_out[invalid] = np.nan
         return ids_out, scores_out
-
-    def _search(
-        self,
-        query: np.ndarray,
-        k: int,
-        n_probe: int | None,
-        exclude_item: int | None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        probes = self.n_probe if n_probe is None else min(n_probe, self.n_cells)
-        cell_scores = self._centroids @ query
-        probe_cells = np.argpartition(-cell_scores, probes - 1)[:probes]
-        rows = np.concatenate([self._cells[int(c)] for c in probe_cells])
-        if len(rows) == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0)
-        scores = self._candidates[rows] @ query
-        if exclude_item is not None:
-            scores[self._item_ids[rows] == exclude_item] = -np.inf
-        kk = min(k, len(rows))
-        top = np.argpartition(-scores, kk - 1)[:kk]
-        top = top[np.argsort(-scores[top], kind="stable")]
-        return self._item_ids[rows[top]], scores[top]
 
     def recall_at_k(
         self, queries: np.ndarray, k: int, n_probe: int | None = None

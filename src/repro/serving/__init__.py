@@ -14,6 +14,10 @@ request-serving system:
   path's cache and per-tier latency accounting;
 - :mod:`repro.serving.loadgen` — synthetic traffic replay with QPS and
   tail-latency reporting;
+- :mod:`repro.serving.gateway` — the asyncio HTTP front end: request
+  coalescing into micro-batches, load shedding, swap coordination;
+- :mod:`repro.serving.netload` — multi-process open-loop network load
+  generation over real sockets;
 - :mod:`repro.serving.sharding` — HBGP-sharded serving: per-partition
   stores that swap independently behind a scatter-gather dispatcher;
 - :mod:`repro.serving.parallel` — one worker process per shard (fork-
@@ -31,8 +35,26 @@ from repro.serving.candidates import (
     build_candidate_table,
 )
 from repro.serving.cache import LRUTTLCache
-from repro.serving.loadgen import LoadMix, run_load, synth_requests
-from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.gateway import (
+    GatewayConfig,
+    GatewayThread,
+    RecommendGateway,
+    request_from_payload,
+    request_to_payload,
+)
+from repro.serving.loadgen import (
+    LoadMix,
+    latency_percentiles,
+    run_load,
+    synth_requests,
+)
+from repro.serving.metrics import LatencyHistogram, ServingMetrics, to_jsonable
+from repro.serving.netload import (
+    NetLoadConfig,
+    fetch_json,
+    run_netload,
+    wait_for_gateway,
+)
 from repro.serving.service import (
     MatchingService,
     MatchingServiceConfig,
@@ -70,6 +92,17 @@ __all__ = [
     "LRUTTLCache",
     "LatencyHistogram",
     "ServingMetrics",
+    "to_jsonable",
+    "GatewayConfig",
+    "GatewayThread",
+    "RecommendGateway",
+    "request_from_payload",
+    "request_to_payload",
+    "NetLoadConfig",
+    "fetch_json",
+    "run_netload",
+    "wait_for_gateway",
+    "latency_percentiles",
     "MatchingService",
     "MatchingServiceConfig",
     "MatchRequest",

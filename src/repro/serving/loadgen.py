@@ -30,7 +30,13 @@ logger = get_logger("serving.loadgen")
 
 @dataclass
 class LoadMix:
-    """Request-mix fractions; must sum to 1."""
+    """Request-mix weights; non-negative, normalized at sampling time.
+
+    Weights need not sum to 1 — ``fractions()`` renormalizes, so
+    ``LoadMix(7, 1, 1, 1)`` and ``LoadMix(0.7, 0.1, 0.1, 0.1)`` describe
+    the same traffic.  A zero-weight class is valid and simply never
+    emitted (``LoadMix(1, 0, 0, 0)`` is pure warm traffic).
+    """
 
     warm: float = 0.70
     cold_item: float = 0.10
@@ -39,11 +45,30 @@ class LoadMix:
 
     def validate(self) -> None:
         parts = (self.warm, self.cold_item, self.cold_user, self.unknown)
-        require(all(p >= 0 for p in parts), "mix fractions must be >= 0")
-        require(
-            abs(sum(parts) - 1.0) < 1e-9,
-            f"mix fractions must sum to 1, got {sum(parts)}",
-        )
+        require(all(p >= 0 for p in parts), "mix weights must be >= 0")
+        require(sum(parts) > 0, "mix weights must not all be zero")
+
+    def fractions(self) -> tuple[float, float, float, float]:
+        """The normalized (warm, cold_item, cold_user, unknown) fractions.
+
+        Exact normalization matters: ``numpy.random.Generator.choice``
+        rejects probability vectors that are off by float noise (e.g.
+        ``0.3 + 0.3 + 0.4`` sums to ``0.9999999999999999``), so the sum
+        is divided out rather than asserted.
+        """
+        self.validate()
+        parts = (self.warm, self.cold_item, self.cold_user, self.unknown)
+        total = sum(parts)
+        fractions = tuple(p / total for p in parts)
+        # Normalized floats can still miss 1.0 by an ulp; fold the
+        # residue into the largest class so `choice` always accepts.
+        residue = 1.0 - sum(fractions)
+        if residue:
+            bump = max(range(4), key=lambda i: fractions[i])
+            fractions = tuple(
+                f + residue if i == bump else f for i, f in enumerate(fractions)
+            )
+        return fractions  # type: ignore[return-value]
 
 
 def synth_requests(
@@ -65,15 +90,10 @@ def synth_requests(
       (exercises the popularity tier).
     """
     mix = mix or LoadMix()
-    mix.validate()
     require_positive(n_requests, "n_requests")
     rng = ensure_rng(seed)
     n_items = dataset.n_items
-    kinds = rng.choice(
-        4,
-        size=n_requests,
-        p=[mix.warm, mix.cold_item, mix.cold_user, mix.unknown],
-    )
+    kinds = rng.choice(4, size=n_requests, p=list(mix.fractions()))
     requests: list[MatchRequest] = []
     for kind in kinds:
         if kind == 0:
@@ -97,6 +117,23 @@ def synth_requests(
         else:
             requests.append(MatchRequest(item_id=n_items + int(rng.integers(10**6))))
     return requests
+
+
+def latency_percentiles(latencies_s: "list[float] | np.ndarray") -> dict:
+    """``{"p50": s, "p95": s, "p99": s}`` over per-request latencies.
+
+    Shared by :func:`run_load` and the network loadgen
+    (:mod:`repro.serving.netload`) so in-process and over-the-wire
+    reports quote tail latency in the same shape and unit (seconds).
+    """
+    if len(latencies_s) == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    samples = np.asarray(latencies_s, dtype=np.float64)
+    return {
+        "p50": float(np.quantile(samples, 0.50)),
+        "p95": float(np.quantile(samples, 0.95)),
+        "p99": float(np.quantile(samples, 0.99)),
+    }
 
 
 def run_load(
@@ -127,9 +164,12 @@ def run_load(
     -------
     dict
         ``{n_requests, duration_s, qps, failures, swap_performed,
-        swap_duration_s, versions_served, cache_hit_rate, tiers: {...},
-        cache: {...}}`` — ``duration_s`` is wall time including the
-        swap; ``qps`` and ``max_lap_s`` describe request work only.
+        swap_duration_s, versions_served, cache_hit_rate,
+        latency_s: {p50, p95, p99}, tiers: {...}, cache: {...}}`` —
+        ``duration_s`` is wall time including the swap; ``qps`` and
+        ``max_lap_s`` describe request work only, and ``latency_s``
+        holds per-request service-time percentiles (cache hits
+        included), directly comparable to the network loadgen report.
     """
     require_positive(k, "k")
     require_positive(batch_size, "batch_size")
@@ -143,6 +183,7 @@ def run_load(
     swap_duration = 0.0
     versions: set[int] = set()
     lap_times: list[float] = []
+    latencies: list[float] = []
 
     timer = Timer()
     timer.start()
@@ -165,6 +206,7 @@ def run_load(
                 outcomes = service.recommend_batch(chunk, k)
             for result in outcomes:
                 versions.add(result.version)
+                latencies.append(result.latency)
             served += len(outcomes)
         except Exception:
             failures += len(chunk)
@@ -186,6 +228,7 @@ def run_load(
         "swap_duration_s": swap_duration,
         "versions_served": sorted(versions),
         "cache_hit_rate": snap["cache_hit_rate"],
+        "latency_s": latency_percentiles(latencies),
         "max_lap_s": max(lap_times) if lap_times else 0.0,
         "tiers": snap["tiers"],
         "cache": snap["cache"],

@@ -26,6 +26,28 @@ from repro.utils import require_positive
 QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
+def to_jsonable(obj):
+    """Recursively convert ``obj`` into plain JSON-serializable Python.
+
+    Metrics flow through numpy on their way in (``np.quantile`` results,
+    ``np.int64`` counter bumps, version arrays), and ``json.dumps``
+    refuses numpy scalars — which breaks any consumer that serializes a
+    snapshot, most importantly the gateway's ``/metrics`` endpoint.
+    Every snapshot boundary funnels through this: numpy scalars become
+    their native ``item()``, arrays become lists, tuples become lists,
+    dict keys become strings.
+    """
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
+
+
 class LatencyHistogram:
     """Ring-buffer latency recorder with exact quantile snapshots.
 
@@ -147,7 +169,9 @@ class ServingMetrics:
         ``{"counters": {...}, "cache_hit_rate": float,
         "tiers": {tier: {count, mean, p50, p95, p99}},
         "gauges": {...}, "info": {...}}`` — ``gauges``/``info`` are
-        omitted while empty so older reports keep their shape.
+        omitted while empty so older reports keep their shape.  The
+        result is strictly JSON-serializable: numpy scalars that snuck
+        in through ``incr``/``set_gauge``/``observe`` come out native.
         """
         with self._lock:
             counters = dict(self._counters)
@@ -171,4 +195,4 @@ class ServingMetrics:
             }
         if info:
             snap["info"] = info
-        return snap
+        return to_jsonable(snap)

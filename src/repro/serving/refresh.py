@@ -199,6 +199,13 @@ class RefreshDaemon:
         ``fault_hook(phase, attempt)`` called at the start of every
         phase; raising from it fails the attempt.  The injection point
         for tests and benchmarks.
+    promote_gate:
+        Optional wrapper the promote phase runs inside:
+        ``promote_gate(flip)`` must call ``flip()`` exactly once and
+        return its result.  The network gateway passes its
+        :meth:`~repro.serving.gateway.RecommendGateway.swap_gate` here so
+        a promotion waits for in-flight coalesced batches and never
+        tears a request mid-swap.
     seed:
         Randomness for warm-start initialization and backoff jitter.
     """
@@ -210,6 +217,7 @@ class RefreshDaemon:
         config: RefreshConfig | None = None,
         metrics: ServingMetrics | None = None,
         fault_hook: "Callable[[str, int], None] | None" = None,
+        promote_gate: "Callable[[Callable[[], object]], object] | None" = None,
         seed: "int | np.random.Generator | None" = 0,
     ) -> None:
         self._config = config or RefreshConfig()
@@ -226,6 +234,7 @@ class RefreshDaemon:
         self._metrics = metrics
         self._dataset_source = dataset_source
         self._fault_hook = fault_hook
+        self._promote_gate = promote_gate
         self._rng = ensure_rng(seed)
         self._model = self._current_model()
 
@@ -523,7 +532,16 @@ class RefreshDaemon:
         return assignment
 
     def _promote(self, artifacts) -> "list[int] | int":
-        """The cheap half: pointer flips only."""
+        """The cheap half: pointer flips only.
+
+        With a ``promote_gate`` (the network gateway's swap gate) the
+        flips run only while no coalesced batch is in flight.
+        """
+        if self._promote_gate is not None:
+            return self._promote_gate(lambda: self._flip(artifacts))
+        return self._flip(artifacts)
+
+    def _flip(self, artifacts) -> "list[int] | int":
         if not self._sharded:
             self._store.swap(artifacts)
             if self._service is not None:

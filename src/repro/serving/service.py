@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.coldstart import cold_user_vector, infer_cold_item_vector
 from repro.serving.cache import LRUTTLCache
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import ServingMetrics, to_jsonable
 from repro.serving.store import ModelBundle, ModelStore
 from repro.utils import get_logger, require_positive
 
@@ -294,7 +294,7 @@ class MatchingService:
         snap = self._metrics.snapshot()
         snap["store_version"] = self._store.version
         snap["cache"] = self._cache.stats() if self._cache is not None else None
-        return snap
+        return to_jsonable(snap)
 
     # ------------------------------------------------------------------
     # resolution

@@ -47,7 +47,7 @@ from repro.data.schema import BehaviorDataset
 from repro.graph.hbgp import PartitionResult
 from repro.serving.cache import LRUTTLCache
 from repro.serving.candidates import CandidateTableConfig, build_candidate_table
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import ServingMetrics, to_jsonable
 from repro.serving.service import (
     MatchingServiceConfig,
     MatchRequest,
@@ -559,7 +559,7 @@ class ShardedMatchingService:
             for shard, metrics in enumerate(self._shard_metrics)
         ]
         snap["n_shards"] = self._store.n_shards
-        return snap
+        return to_jsonable(snap)
 
     # ------------------------------------------------------------------
     # resolution

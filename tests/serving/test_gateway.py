@@ -1,0 +1,393 @@
+"""Tests for the network serving gateway (HTTP edge + request coalescing).
+
+The load-bearing contract: coalescing is an execution strategy, not a
+semantic change — concurrent single ``/recommend`` calls through the
+gateway must return byte-identical (ids, scores) answers to direct
+``MatchingService.recommend`` calls, including while a hot swap lands
+mid-traffic.  Caches are off on both sides so every comparison hits the
+compute path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serving import (
+    TIERS,
+    GatewayConfig,
+    GatewayThread,
+    LoadMix,
+    MatchingService,
+    MatchingServiceConfig,
+    ModelStore,
+    request_to_payload,
+    synth_requests,
+)
+
+K = 5
+
+
+def _call(port, method, path, payload=None, timeout=30.0):
+    """One blocking HTTP round trip; returns (status, parsed body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _no_cache_service(bundle):
+    return MatchingService(
+        ModelStore(bundle), MatchingServiceConfig(default_k=K, cache_size=0)
+    )
+
+
+@pytest.fixture()
+def direct(serving_bundle):
+    """The ground truth: the same bundle answered without a network."""
+    return _no_cache_service(serving_bundle)
+
+
+@pytest.fixture()
+def gateway(serving_bundle):
+    service = _no_cache_service(serving_bundle)
+    config = GatewayConfig(port=0, max_batch=8, max_wait_ms=5.0, default_k=K)
+    with GatewayThread(service, config) as gw:
+        yield gw
+
+
+def _assert_identical(payload: dict, expected) -> None:
+    """Wire answer == in-process answer, down to the exact float values."""
+    assert payload["items"] == [int(item) for item in expected.items]
+    assert payload["scores"] == [float(score) for score in expected.scores]
+    assert payload["tier"] == expected.tier
+
+
+class TestEndpoints:
+    def test_healthz(self, gateway):
+        status, body = _call(gateway.port, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["store_version"] == 0
+        assert body["uptime_s"] >= 0.0
+
+    def test_metrics_shape(self, gateway):
+        _call(gateway.port, "GET", "/recommend?item_id=0")
+        status, body = _call(gateway.port, "GET", "/metrics")
+        assert status == 200  # json.loads in _call already proved JSON-strict
+        assert body["counters"]["gateway_requests"] == 1
+        edge = body["gateway"]
+        assert edge["max_batch"] == 8
+        assert edge["queue_depth"] == 0
+        assert "gateway" in body["tiers"]  # end-to-end latency histogram
+
+    def test_get_recommend_matches_direct(self, gateway, direct):
+        status, body = _call(gateway.port, "GET", f"/recommend?item_id=3&k={K}")
+        assert status == 200
+        from repro.serving import MatchRequest
+
+        _assert_identical(body, direct.recommend(MatchRequest(item_id=3), K))
+        assert body["tier"] in TIERS
+        assert body["version"] == 0
+        assert body["cached"] is False
+
+    def test_post_recommend_every_kind(self, gateway, direct, tiny_split):
+        train, _ = tiny_split
+        requests = synth_requests(
+            train, 12, mix=LoadMix(0.25, 0.25, 0.25, 0.25), seed=7
+        )
+        for request in requests:
+            payload = {**request_to_payload(request), "k": K}
+            status, body = _call(gateway.port, "POST", "/recommend", payload)
+            assert status == 200
+            _assert_identical(body, direct.recommend(request, K))
+
+    def test_default_k_applies(self, gateway):
+        status, body = _call(gateway.port, "POST", "/recommend", {"item_id": 0})
+        assert status == 200
+        assert len(body["items"]) == K
+
+    def test_recommend_batch_matches_direct(self, gateway, direct, tiny_split):
+        train, _ = tiny_split
+        requests = synth_requests(train, 6, seed=3)
+        payload = {
+            "requests": [request_to_payload(r) for r in requests],
+            "k": K,
+        }
+        status, body = _call(gateway.port, "POST", "/recommend_batch", payload)
+        assert status == 200
+        expected = direct.recommend_batch(requests, K)
+        assert len(body["results"]) == len(expected)
+        for entry, answer in zip(body["results"], expected):
+            _assert_identical(entry, answer)
+        assert body["latency_s"] > 0.0
+
+    def test_recommend_batch_honors_per_entry_k(self, gateway, direct):
+        """Regression: per-entry ``k`` used to be validated then silently
+        dropped — every entry got the batch-level (or default) ``k``."""
+        from repro.serving import MatchRequest
+
+        payload = {
+            "requests": [
+                {"item_id": 3, "k": 2},
+                {"item_id": 9},  # falls back to the batch-level k
+                {"item_id": 3, "k": 7},
+            ],
+            "k": 4,
+        }
+        status, body = _call(gateway.port, "POST", "/recommend_batch", payload)
+        assert status == 200
+        for entry, (item, k) in zip(body["results"], [(3, 2), (9, 4), (3, 7)]):
+            assert len(entry["items"]) == k
+            _assert_identical(entry, direct.recommend(MatchRequest(item_id=item), k))
+
+
+class TestErrorPaths:
+    def test_unknown_endpoint_404(self, gateway):
+        status, body = _call(gateway.port, "GET", "/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_wrong_method_405(self, gateway):
+        assert _call(gateway.port, "POST", "/healthz", {})[0] == 405
+        assert _call(gateway.port, "GET", "/recommend_batch")[0] == 405
+
+    def test_invalid_json_400(self, gateway):
+        conn = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/recommend", body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "invalid JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_unknown_field_400(self, gateway):
+        status, body = _call(
+            gateway.port, "POST", "/recommend", {"item_id": 0, "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in body["error"]
+
+    def test_unknown_query_param_400(self, gateway):
+        status, body = _call(gateway.port, "GET", "/recommend?item_id=0&junk=1")
+        assert status == 400
+        assert "junk" in body["error"]
+
+    def test_nonpositive_k_400(self, gateway):
+        status, _ = _call(gateway.port, "POST", "/recommend", {"item_id": 0, "k": 0})
+        assert status == 400
+
+    def test_empty_batch_400(self, gateway):
+        status, _ = _call(gateway.port, "POST", "/recommend_batch", {"requests": []})
+        assert status == 400
+
+    def test_port_conflict_surfaces_at_start(self, gateway, serving_bundle):
+        rival = GatewayThread(
+            _no_cache_service(serving_bundle),
+            GatewayConfig(port=gateway.port),
+        )
+        with pytest.raises(RuntimeError, match="startup failed"):
+            rival.start(timeout=5.0)
+
+
+class TestCoalescing:
+    def test_concurrent_singles_identical_to_direct(
+        self, serving_bundle, direct, tiny_split
+    ):
+        """The tentpole contract: coalesced answers == direct answers."""
+        train, _ = tiny_split
+        requests = synth_requests(train, 48, seed=11)
+        expected = [direct.recommend(request, K) for request in requests]
+
+        config = GatewayConfig(
+            port=0, max_batch=16, max_wait_ms=20.0, default_k=K
+        )
+        with GatewayThread(_no_cache_service(serving_bundle), config) as gw:
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                responses = list(
+                    pool.map(
+                        lambda request: _call(
+                            gw.port,
+                            "POST",
+                            "/recommend",
+                            {**request_to_payload(request), "k": K},
+                        ),
+                        requests,
+                    )
+                )
+            metrics = gw.gateway.service.metrics
+
+        for (status, body), answer in zip(responses, expected):
+            assert status == 200
+            _assert_identical(body, answer)
+
+        batches = metrics.counter("gateway_coalesced_batches")
+        assert metrics.counter("gateway_coalesced_requests") == len(requests)
+        assert 1 <= batches < len(requests), "coalescing never engaged"
+
+    def test_mixed_k_traffic_coalesces_correctly(self, serving_bundle, direct):
+        from repro.serving import MatchRequest
+
+        jobs = [(item, 3 if item % 2 else 7) for item in range(20)]
+        config = GatewayConfig(
+            port=0, max_batch=16, max_wait_ms=20.0, default_k=K
+        )
+        with GatewayThread(_no_cache_service(serving_bundle), config) as gw:
+            with ThreadPoolExecutor(max_workers=10) as pool:
+                responses = list(
+                    pool.map(
+                        lambda job: _call(
+                            gw.port,
+                            "POST",
+                            "/recommend",
+                            {"item_id": job[0], "k": job[1]},
+                        ),
+                        jobs,
+                    )
+                )
+        for (status, body), (item, k) in zip(responses, jobs):
+            assert status == 200
+            assert len(body["items"]) == k
+            _assert_identical(body, direct.recommend(MatchRequest(item_id=item), k))
+
+
+class TestHotSwap:
+    def test_swap_mid_traffic_never_breaks_answers(
+        self, serving_bundle, direct, tiny_split
+    ):
+        """A promotion through the swap gate overlaps live traffic; every
+        response must still be byte-identical to the direct answer."""
+        train, _ = tiny_split
+        requests = synth_requests(train, 40, mix=LoadMix(1, 0, 0, 0), seed=5)
+        expected = [direct.recommend(request, K) for request in requests]
+
+        store = ModelStore(serving_bundle)
+        service = MatchingService(
+            store, MatchingServiceConfig(default_k=K, cache_size=0)
+        )
+        config = GatewayConfig(
+            port=0, max_batch=8, max_wait_ms=10.0, default_k=K
+        )
+        with GatewayThread(service, config) as gw:
+
+            def shoot(request):
+                return _call(
+                    gw.port,
+                    "POST",
+                    "/recommend",
+                    {**request_to_payload(request), "k": K},
+                )
+
+            with ThreadPoolExecutor(max_workers=12) as pool:
+                futures = [pool.submit(shoot, r) for r in requests]
+                # Promote the same bundle while requests are in flight:
+                # answers stay identical, the version counter proves the
+                # swap really happened mid-run.
+                gw.swap_gate(lambda: store.swap(serving_bundle))
+                responses = [f.result() for f in futures]
+
+            metrics = gw.gateway.service.metrics
+            # The gate released with traffic still flowing: a follow-up
+            # request serves the promoted generation.
+            status, after = _call(gw.port, "GET", "/recommend?item_id=0")
+            assert status == 200
+            assert after["version"] == 1
+
+        versions = set()
+        for (status, body), answer in zip(responses, expected):
+            assert status == 200
+            _assert_identical(body, answer)
+            versions.add(body["version"])
+        assert versions <= {0, 1}
+        assert store.version == 1
+        assert metrics.counter("gateway_swap_gates") == 1
+
+
+class TestLoadShedding:
+    def test_queue_past_high_water_sheds_429(self, serving_bundle):
+        service = _no_cache_service(serving_bundle)
+        config = GatewayConfig(
+            port=0,
+            max_batch=4,
+            max_wait_ms=1.0,
+            queue_high_water=2,
+            latency_budget_ms=None,
+            executor_threads=1,
+            default_k=K,
+        )
+        with GatewayThread(service, config) as gw:
+            gate_held = threading.Event()
+            release = threading.Event()
+
+            def blocker():
+                gate_held.set()
+                assert release.wait(30.0)
+
+            holder = threading.Thread(target=gw.swap_gate, args=(blocker,))
+            holder.start()
+            assert gate_held.wait(10.0)
+            metrics = gw.gateway.service.metrics
+            try:
+                # With the gate held exclusive no batch can complete, so a
+                # burst piles into the coalescing queue and spills over the
+                # high-water mark.
+                with ThreadPoolExecutor(max_workers=32) as pool:
+                    futures = [
+                        pool.submit(
+                            _call, gw.port, "POST", "/recommend", {"item_id": 0}
+                        )
+                        for _ in range(48)
+                    ]
+                    # Admitted requests cannot answer until the gate drops;
+                    # release it once the whole burst has been admitted or
+                    # shed (the admission counter bumps before any queueing).
+                    deadline = time.monotonic() + 20.0
+                    while (
+                        metrics.counter("gateway_requests") < 48
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.01)
+                    release.set()
+                    statuses = [f.result()[0] for f in futures]
+            finally:
+                release.set()
+                holder.join(timeout=30.0)
+            shed = metrics.counter("gateway_shed_queue_full")
+
+        assert set(statuses) <= {200, 429}, "shedding must be clean 429s"
+        assert statuses.count(429) == shed
+        assert shed > 0, "high-water admission control never engaged"
+        assert statuses.count(200) + statuses.count(429) == 48
+
+    def test_latency_budget_expiry_sheds_429(self, serving_bundle):
+        service = _no_cache_service(serving_bundle)
+        config = GatewayConfig(
+            port=0,
+            max_batch=8,
+            # The window (100ms) exceeds the budget (1ms), so a lone
+            # request is already expired when its batch dispatches.
+            max_wait_ms=100.0,
+            latency_budget_ms=1.0,
+            default_k=K,
+        )
+        with GatewayThread(service, config) as gw:
+            status, body = _call(gw.port, "POST", "/recommend", {"item_id": 0})
+            metrics = gw.gateway.service.metrics
+        assert status == 429
+        assert "latency budget" in body["error"]
+        assert metrics.counter("gateway_shed_expired") == 1
+        assert metrics.counter("gateway_shed") == 1

@@ -10,15 +10,67 @@ from repro.serving import (
     LoadMix,
     MatchingService,
     MatchingServiceConfig,
+    latency_percentiles,
     run_load,
     synth_requests,
 )
 
 
+class TestLoadMix:
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="not all be zero"):
+            LoadMix(0, 0, 0, 0).validate()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            LoadMix(0.5, -0.1, 0.3, 0.3).validate()
+
+    def test_unnormalized_weights_renormalize(self):
+        fractions = LoadMix(7, 1, 1, 1).fractions()
+        assert fractions == pytest.approx(
+            LoadMix(0.7, 0.1, 0.1, 0.1).fractions()
+        )
+        assert sum(fractions) == 1.0
+
+    def test_float_noise_sum_is_exactly_one(self):
+        """Regression: 0.3 + 0.3 + 0.4 sums to 0.9999999999999999 and
+        `Generator.choice` rejects it; `fractions()` must fold the ulp."""
+        fractions = LoadMix(0.3, 0.3, 0.4, 0.0).fractions()
+        assert sum(fractions) == 1.0
+        rng = np.random.default_rng(0)
+        rng.choice(4, size=8, p=list(fractions))  # must not raise
+
+    def test_zero_weight_class_never_emitted(self, tiny_dataset):
+        """Regression: `validate()` used to demand every weight > 0, so a
+        pure-warm mix (cold classes zeroed) was rejected outright."""
+        requests = synth_requests(
+            tiny_dataset, 300, mix=LoadMix(0.5, 0.0, 0.5, 0.0), seed=4
+        )
+        for request in requests:
+            # kinds 3 (unknown: id beyond catalogue) and 1 (cold item:
+            # si_values without an id) must never appear.
+            if request.item_id is not None:
+                assert request.item_id < tiny_dataset.n_items
+            else:
+                assert request.si_values is None  # cold user, not cold item
+
+
+class TestLatencyPercentiles:
+    def test_empty_is_zero(self):
+        assert latency_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_matches_numpy_quantiles(self):
+        samples = np.random.default_rng(1).exponential(0.002, size=400)
+        got = latency_percentiles(samples)
+        assert got["p50"] == pytest.approx(np.quantile(samples, 0.5))
+        assert got["p99"] == pytest.approx(np.quantile(samples, 0.99))
+        assert got["p50"] <= got["p95"] <= got["p99"]
+
+
 class TestSynthRequests:
     def test_mix_fractions_validated(self, tiny_dataset):
         with pytest.raises(ValueError):
-            synth_requests(tiny_dataset, 10, mix=LoadMix(0.5, 0.5, 0.5, 0.5))
+            synth_requests(tiny_dataset, 10, mix=LoadMix(0.5, -0.5, 0.5, 0.5))
 
     def test_warm_zipf_tail_is_folded_not_clamped(self, tiny_dataset):
         """Regression: `min(rank - 1, n_items - 1)` piled the whole Zipf
@@ -103,3 +155,13 @@ class TestRunLoad:
         # Every request lands on exactly one histogram (incl. cache hits).
         assert total_observed == 64.0
         assert np.isfinite(report["max_lap_s"])
+
+    def test_report_carries_latency_percentiles(self, fresh_store, tiny_dataset):
+        service = MatchingService(
+            fresh_store, MatchingServiceConfig(default_k=5, cache_ttl=None)
+        )
+        requests = synth_requests(tiny_dataset, 40, seed=3)
+        report = run_load(service, requests, k=5, batch_size=8)
+        latency = report["latency_s"]
+        assert set(latency) == {"p50", "p95", "p99"}
+        assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.metrics import LatencyHistogram, ServingMetrics, to_jsonable
 
 
 class TestLatencyHistogram:
@@ -76,3 +76,44 @@ class TestServingMetrics:
         metrics.incr("requests")
         metrics.observe("popularity", 0.0001)
         json.dumps(metrics.snapshot())  # must not raise
+
+
+class TestToJsonable:
+    def test_numpy_scalars_become_native(self):
+        out = to_jsonable({"a": np.int64(3), "b": np.float32(0.5)})
+        assert out == {"a": 3, "b": 0.5}
+        assert type(out["a"]) is int
+        assert type(out["b"]) is float
+
+    def test_arrays_and_tuples_become_lists(self):
+        out = to_jsonable({"v": np.arange(3), "t": (1, 2)})
+        assert out == {"v": [0, 1, 2], "t": [1, 2]}
+
+    def test_non_string_keys_become_strings(self):
+        out = to_jsonable({np.int64(7): {0: "zero"}})
+        assert out == {"7": {"0": "zero"}}
+
+    def test_nested_structures(self):
+        out = to_jsonable([{"x": (np.float64(1.0), [np.int32(2)])}])
+        assert out == [{"x": [1.0, [2]]}]
+
+
+class TestSnapshotJsonRegression:
+    def test_numpy_inputs_serialize(self):
+        """Regression: numpy scalars recorded through incr/set_gauge/observe
+        used to survive into the snapshot and break ``json.dumps`` — which
+        broke every consumer that serializes one, most importantly the
+        gateway's ``/metrics`` endpoint."""
+        import json
+
+        metrics = ServingMetrics()
+        metrics.incr("requests", np.int64(2))
+        metrics.set_gauge("staleness_s", np.float64(1.5))
+        metrics.set_gauge("live", lambda: np.float32(3.0))
+        metrics.set_info("note", "fine")
+        metrics.observe("table", np.float64(0.001))
+        snap = json.loads(json.dumps(metrics.snapshot()))
+        assert snap["counters"]["requests"] == 2
+        assert snap["gauges"]["staleness_s"] == 1.5
+        assert snap["gauges"]["live"] == 3.0
+        assert snap["tiers"]["table"]["count"] == 1.0

@@ -20,6 +20,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "a", "b", "--variant", "XX"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "ds.npz", "model"])
+        assert args.port == 8460
+        assert args.max_batch == 32
+        assert args.high_water == 512
+        assert args.duration == 0.0
+        assert args.refresh_every is None
+
+    def test_netload_defaults(self):
+        args = build_parser().parse_args(["netload", "ds.npz"])
+        assert args.port == 8460
+        assert args.processes == 2
+        assert args.mix == "0.7,0.1,0.1,0.1"
+        assert args.output is None
+
 
 @pytest.fixture(scope="module")
 def dataset_path(tmp_path_factory):
@@ -225,6 +240,65 @@ class TestWorkflow:
         assert "refresh daemon" in out
         assert "promoted=True" in out
         assert "warm item after refresh" in out
+
+    def test_netload_bad_mix_rejected(self, dataset_path):
+        code = main(["netload", str(dataset_path), "--mix", "1,2,3"])
+        assert code == 2
+
+    def test_serve_then_netload_over_socket(
+        self, dataset_path, serving_model_path, tmp_path, capsys
+    ):
+        """The full network path: `sisg serve` on a socket, `sisg netload`
+        driving it (netload polls /healthz, so starting both concurrently
+        is safe — exactly how the CI smoke job wires them)."""
+        import socket
+        import threading
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        serve_code: list = []
+        server = threading.Thread(
+            target=lambda: serve_code.append(
+                main(
+                    [
+                        "serve",
+                        str(dataset_path),
+                        str(serving_model_path),
+                        "--port", str(port),
+                        "--duration", "5",
+                        "--max-wait-ms", "5",
+                    ]
+                )
+            ),
+        )
+        server.start()
+        try:
+            out_path = tmp_path / "netload.json"
+            code = main(
+                [
+                    "netload",
+                    str(dataset_path),
+                    "--port", str(port),
+                    "--requests", "60",
+                    "--rate", "400",
+                    "--processes", "1",
+                    "--connections", "4",
+                    "--output", str(out_path),
+                ]
+            )
+        finally:
+            server.join(timeout=60.0)
+        assert code == 0  # netload exits 1 when any request errored
+        assert serve_code == [0]
+        report = json.loads(out_path.read_text())
+        assert report["ok"] == 60
+        assert report["errors"] == 0
+        counters = report["gateway"]["counters"]
+        assert counters["gateway_coalesced_batches"] >= 1
+        out = capsys.readouterr().out
+        assert "gateway listening on" in out
 
     def test_train_distributed_engine(self, dataset_path, tmp_path):
         model_path = tmp_path / "dist_model"
