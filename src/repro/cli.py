@@ -201,6 +201,39 @@ def _add_shard_args(p: argparse.ArgumentParser) -> None:
         choices=["serial", "process"],
         help="gather execution: in-process, or one worker process per shard",
     )
+    _add_bundle_args(p)
+
+
+def _add_bundle_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--ann-precision",
+        default="float32",
+        choices=["float32", "int8", "pq"],
+        help="retrieval-tier storage: full float32, int8 scalar"
+        " quantization, or product quantization (both quantized modes"
+        " re-rank the top rerank*k candidates exactly)",
+    )
+    p.add_argument(
+        "--ann-rerank",
+        type=int,
+        default=4,
+        help="exact re-rank depth multiplier for quantized precisions",
+    )
+    p.add_argument(
+        "--zero-copy",
+        action="store_true",
+        help="back bundle arrays with shared-memory segments so worker"
+        " processes and hot-swap generations share one physical copy",
+    )
+
+
+def _bundle_kwargs(args: argparse.Namespace) -> dict:
+    """The memory-tier build kwargs every serving command shares."""
+    return {
+        "ann_precision": getattr(args, "ann_precision", "float32"),
+        "ann_rerank": getattr(args, "ann_rerank", 4),
+        "share_memory": bool(getattr(args, "zero_copy", False)),
+    }
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -487,6 +520,7 @@ def _build_service(args: argparse.Namespace):
             n_cells=args.cells,
             table_coverage=args.table_coverage,
             seed=0,
+            **_bundle_kwargs(args),
         )
         pool = (
             ShardWorkerPool(store)
@@ -500,6 +534,7 @@ def _build_service(args: argparse.Namespace):
         n_cells=args.cells,
         table_coverage=args.table_coverage,
         seed=0,
+        **_bundle_kwargs(args),
     )
     store = ModelStore(bundle)
     return dataset, model, store, MatchingService(store)
@@ -569,6 +604,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 "n_cells": args.cells,
                 "table_coverage": args.table_coverage,
                 "seed": 1,
+                **_bundle_kwargs(args),
             },
         )
         daemon = RefreshDaemon(
@@ -595,6 +631,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 n_cells=args.cells,
                 table_coverage=args.table_coverage,
                 seed=1,
+                **_bundle_kwargs(args),
             )
             service.swap_shard(0, new_bundle)
             print(f"swapped shard 0 only; shard versions: {store.versions}")
@@ -606,6 +643,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                     n_cells=args.cells,
                     table_coverage=args.table_coverage,
                     seed=1,
+                    **_bundle_kwargs(args),
                 )
             )
         show("warm item after swap", int(covered[0]))
@@ -654,6 +692,7 @@ def _cmd_refresh_daemon(args: argparse.Namespace) -> int:
             "n_cells": args.cells,
             "table_coverage": args.table_coverage,
             "seed": args.seed,
+            **_bundle_kwargs(args),
         },
     )
     hook = (
@@ -741,6 +780,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         "n_cells": args.cells,
                         "table_coverage": args.table_coverage,
                         "seed": args.seed,
+                        **_bundle_kwargs(args),
                     },
                 ),
                 promote_gate=gateway.swap_gate,
@@ -838,6 +878,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         n_cells=args.cells,
                         table_coverage=args.table_coverage,
                         seed=args.seed + 1,
+                        **_bundle_kwargs(args),
                     ),
                 )
         else:
@@ -849,6 +890,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         n_cells=args.cells,
                         table_coverage=args.table_coverage,
                         seed=args.seed + 1,
+                        **_bundle_kwargs(args),
                     )
                 )
 

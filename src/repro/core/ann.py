@@ -20,8 +20,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.similarity import SimilarityIndex, _normalize_rows
-from repro.utils import ensure_rng, get_logger, require, require_positive
+from repro.core.quantize import (
+    PRECISIONS,
+    ProductQuantizer,
+    ScalarQuantizer,
+)
+from repro.core.similarity import (
+    SimilarityIndex,
+    _normalize_rows,
+    _tiebreak_order,
+)
+from repro.utils import (
+    ZeroCopyPickle,
+    ensure_rng,
+    get_logger,
+    require,
+    require_positive,
+)
 
 logger = get_logger("core.ann")
 
@@ -41,9 +56,40 @@ def _blocked_matmul(queries: np.ndarray, base_t: np.ndarray) -> np.ndarray:
     padded = -(-m // _GEMM_BLOCK) * _GEMM_BLOCK
     if padded == m:
         return queries @ base_t
-    block = np.zeros((padded, queries.shape[1]))
+    # The pad must keep the queries' own dtype: a float64 block would
+    # upcast float32 inputs only when padding fires, so the same query
+    # would hit different-precision kernels at different batch sizes.
+    block = np.zeros((padded, queries.shape[1]), dtype=queries.dtype)
     block[:m] = queries
     return (block @ base_t)[:m]
+
+
+def _select_topk(
+    scores: np.ndarray, ids: np.ndarray, kk: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``kk`` columns per row ordered by ``(-score, id)`` under ties.
+
+    ``argpartition`` alone cuts a tie group straddling the ``kk``
+    boundary arbitrarily, so which tied candidates survive would depend
+    on how many rows the call happened to score — sharded and unsharded
+    retrieval would then disagree on tie-heavy catalogues even though
+    both sort their *output* by ``(-score, id)``.  Rows whose boundary
+    score recurs outside the selection are re-selected exactly; all
+    other rows keep the cheap partition result.  ``ids`` aligns with the
+    score columns, either one row (``(n,)``) or per query (``(q, n)``).
+    """
+    top = np.argpartition(-scores, kk - 1, axis=1)[:, :kk]
+    top_scores = np.take_along_axis(scores, top, axis=1)
+    boundary = top_scores.min(axis=1)
+    n_at_least = (scores >= boundary[:, None]).sum(axis=1)
+    for q in np.flatnonzero(n_at_least > kk):
+        pool = np.flatnonzero(scores[q] >= boundary[q])
+        row_ids = ids[q] if ids.ndim == 2 else ids
+        order = np.lexsort((row_ids[pool], -scores[q, pool]))
+        chosen = pool[order[:kk]]
+        top[q] = chosen
+        top_scores[q] = scores[q, chosen]
+    return top, top_scores
 
 
 def kmeans(
@@ -95,18 +141,39 @@ def kmeans(
             assignments = new_assignments
             break
         assignments = new_assignments
+        empty = [
+            c
+            for c in range(n_clusters)
+            if not np.any(assignments == c)
+        ]
         for c in range(n_clusters):
             members = vectors[assignments == c]
             if len(members) > 0:
                 centroids[c] = members.mean(axis=0)
-            else:
-                # Re-seed an empty cluster at the globally worst-served point.
-                worst = int(np.argmax(np.min(d2, axis=1)))
+        if empty:
+            # Re-seed each empty cluster at a *distinct* badly-served
+            # point.  The gap must be measured against the centroids
+            # just updated above (``d2`` predates them) and shrunk after
+            # every re-seed, or all empties would land on the same point
+            # and stay duplicate centroids forever.
+            keep = np.ones(n_clusters, dtype=bool)
+            keep[empty] = False
+            kept = centroids[keep]
+            gap = (
+                np.sum(vectors**2, axis=1)[:, None]
+                - 2.0 * vectors @ kept.T
+                + np.sum(kept**2, axis=1)[None, :]
+            ).min(axis=1)
+            for c in empty:
+                worst = int(np.argmax(gap))
                 centroids[c] = vectors[worst]
+                gap = np.minimum(
+                    gap, np.sum((vectors - vectors[worst]) ** 2, axis=1)
+                )
     return centroids, assignments
 
 
-class IVFIndex:
+class IVFIndex(ZeroCopyPickle):
     """Inverted-file ANN index over an existing similarity index.
 
     Parameters
@@ -119,6 +186,16 @@ class IVFIndex:
         Cells scanned per query (recall/latency knob).
     seed:
         k-means seeding.
+    precision:
+        ``"float32"`` scans probed cells against the full-precision
+        matrix.  ``"int8"`` / ``"pq"`` rank them by asymmetric quantized
+        distance instead (codes trained here, at build time) and re-rank
+        only the top ``rerank * k`` survivors exactly — the memory-bound
+        tier: the big resident artifact shrinks to the code matrix.
+    rerank:
+        Exact re-rank depth multiplier for the quantized precisions.
+    pq_subspaces, pq_centroids:
+        Product-quantizer shape (``precision="pq"`` only).
     """
 
     def __init__(
@@ -127,8 +204,17 @@ class IVFIndex:
         n_cells: int | None = None,
         n_probe: int = 4,
         seed: "int | np.random.Generator | None" = 0,
+        precision: str = "float32",
+        rerank: int = 4,
+        pq_subspaces: int = 8,
+        pq_centroids: int = 256,
     ) -> None:
         require_positive(n_probe, "n_probe")
+        require(
+            precision in PRECISIONS,
+            f"precision must be one of {PRECISIONS}, got {precision!r}",
+        )
+        require_positive(rerank, "rerank")
         self._exact = index
         candidates = index._candidates
         n = len(candidates)
@@ -138,6 +224,8 @@ class IVFIndex:
         require(n_cells <= n, "n_cells must be <= number of items")
         self.n_cells = n_cells
         self.n_probe = min(n_probe, n_cells)
+        self.precision = precision
+        self.rerank = int(rerank)
 
         self._centroids, assignments = kmeans(
             _normalize_rows(candidates), n_cells, seed=seed
@@ -148,14 +236,60 @@ class IVFIndex:
         ]
         self._candidates = candidates
         self._item_ids = index.item_ids
+        if precision == "int8":
+            self._quantizer = ScalarQuantizer().train(candidates)
+            self._codes = self._quantizer.encode(candidates)
+        elif precision == "pq":
+            self._quantizer = ProductQuantizer(
+                n_subspaces=pq_subspaces, n_centroids=pq_centroids, seed=seed
+            ).train(candidates)
+            self._codes = self._quantizer.encode(candidates)
+        else:
+            self._quantizer = None
+            self._codes = None
         occupied = sum(1 for cell in self._cells if len(cell))
         logger.info(
-            "IVF index: %d items in %d cells (%d occupied), n_probe=%d",
+            "IVF index: %d items in %d cells (%d occupied), n_probe=%d,"
+            " precision=%s",
             n,
             n_cells,
             occupied,
             self.n_probe,
+            precision,
         )
+
+    def index_bytes(self) -> dict:
+        """Retrieval-tier footprint by component, in bytes.
+
+        ``resident`` is what must stay hot for ranking; for quantized
+        precisions the full-precision matrix is only touched for the
+        exact re-rank rows and is reported as ``rerank_vectors`` (it can
+        live behind an mmap and stay cold).
+        """
+        out = {
+            "precision": self.precision,
+            "centroids": int(self._centroids.nbytes),
+            "cells": int(sum(cell.nbytes for cell in self._cells)),
+        }
+        if self._quantizer is None:
+            out["vectors"] = int(self._candidates.nbytes)
+            out["codes"] = 0
+            out["codebook"] = 0
+            out["rerank_vectors"] = 0
+        else:
+            out["vectors"] = 0
+            out["codes"] = int(self._codes.nbytes)
+            out["codebook"] = int(self._quantizer.nbytes)
+            out["rerank_vectors"] = int(self._candidates.nbytes)
+        out["resident"] = (
+            out["vectors"]
+            + out["codes"]
+            + out["codebook"]
+            + out["centroids"]
+            + out["cells"]
+        )
+        out["total"] = out["resident"] + out["rerank_vectors"]
+        return out
 
     def __contains__(self, item_id: int) -> bool:
         return item_id in self._exact
@@ -208,8 +342,13 @@ class IVFIndex:
             return np.empty((0, k), dtype=np.int64), np.empty((0, k))
         norms = np.linalg.norm(vectors, axis=1, keepdims=True)
         norms[norms == 0.0] = 1.0
+        # Score in the candidates' precision: an already-normalized row
+        # from the index round-trips bit-identically, so the vector path
+        # (sharded scatter) and the item path (unsharded micro-batcher)
+        # run the same-precision kernel and agree on every tie.
+        queries = (vectors / norms).astype(self._candidates.dtype, copy=False)
         return self._search_batch(
-            vectors / norms, k, n_probe, exclude_items=exclude_items
+            queries, k, n_probe, exclude_items=exclude_items
         )
 
     def topk_batch(
@@ -269,19 +408,39 @@ class IVFIndex:
             [np.full(len(cell), c, dtype=np.int64) for c, cell in zip(union, cells)]
         )
 
-        scores = _blocked_matmul(queries, self._candidates[rows].T)
+        if self._quantizer is None:
+            scores = _blocked_matmul(queries, self._candidates[rows].T)
+        else:
+            scores = self._quantizer.scores(
+                queries, self._codes[rows], matmul=_blocked_matmul
+            )
         scores[~probed[:, cell_of_row]] = -np.inf
         if exclude_items is not None:
             scores[self._item_ids[rows][None, :] == exclude_items[:, None]] = -np.inf
 
         kk = min(k, len(rows))
-        top = np.argpartition(-scores, kk - 1, axis=1)[:, :kk]
-        top_scores = np.take_along_axis(scores, top, axis=1)
-        order = np.argsort(-top_scores, axis=1, kind="stable")
-        top = np.take_along_axis(top, order, axis=1)
+        row_ids = self._item_ids[rows]
+        if self._quantizer is None:
+            top, top_scores = _select_topk(scores, row_ids, kk)
+        else:
+            # Quantized scores only shortlist; the top rerank*k survivors
+            # are re-scored against the exact float vectors.  einsum with
+            # default (unoptimized) contraction accumulates over the
+            # embedding dim per (query, candidate) pair in a fixed order,
+            # so re-ranked scores are batch-size invariant like the GEMM.
+            rr = min(max(self.rerank * k, kk), len(rows))
+            sel, shortlist = _select_topk(scores, row_ids, rr)
+            exact = np.einsum(
+                "qd,qrd->qr", queries, self._candidates[rows[sel]]
+            )
+            exact = np.where(np.isfinite(shortlist), exact, -np.inf)
+            local, top_scores = _select_topk(exact, row_ids[sel], kk)
+            top = np.take_along_axis(sel, local, axis=1)
+        cand_ids = self._item_ids[rows[top]]
+        order = _tiebreak_order(cand_ids, top_scores)
         top_scores = np.take_along_axis(top_scores, order, axis=1)
 
-        ids_out[:, :kk] = self._item_ids[rows[top]]
+        ids_out[:, :kk] = np.take_along_axis(cand_ids, order, axis=1)
         scores_out[:, :kk] = top_scores
         invalid = ~np.isfinite(scores_out)
         ids_out[invalid] = -1

@@ -15,10 +15,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.vocab import TokenKind, Vocabulary
-from repro.utils import require
+from repro.utils import ZeroCopyPickle, require
 
 
-class EmbeddingModel:
+class EmbeddingModel(ZeroCopyPickle):
     """Vocabulary + input/output embeddings in one joint semantic space.
 
     Parameters

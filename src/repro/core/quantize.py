@@ -1,0 +1,214 @@
+"""Vector quantization for the memory-bounded retrieval tier.
+
+The matching stage's binding constraint at catalogue scale is the
+float candidate matrix each shard holds resident.  This module trains
+compact codes for it at bundle-build time:
+
+- :class:`ScalarQuantizer` — per-dimension symmetric int8.  4 bytes
+  per dim become 1; scoring is *asymmetric* (the query stays float), so
+  ``q . decode(c) == (q * scale) . c`` exactly and no decode matrix is
+  ever materialized.
+- :class:`ProductQuantizer` — splits dimensions into ``m`` subspaces
+  and k-means-codes each, so ``d`` floats become ``m`` bytes.  Scoring
+  builds a per-query lookup table of subspace partial dot products and
+  sums gathered entries (ADC).
+
+Both quantizers score through a caller-supplied ``matmul`` so the ANN
+index can pass its GEMM-block-padded kernel: quantized scores, like
+float ones, must not depend on how many queries share a batch (the
+serving gateway's byte-identity guarantee).  Accumulation is pinned to
+float32 in a fixed subspace order for the same reason.
+
+Quantized scores only *rank* candidates; the index re-ranks its top
+``r*k`` survivors against the exact float vectors, so end recall
+degrades far less than the raw code distortion suggests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import (
+    ensure_rng,
+    get_logger,
+    require,
+    require_positive,
+)
+
+logger = get_logger("core.quantize")
+
+PRECISIONS = ("float32", "int8", "pq")
+
+
+class ScalarQuantizer:
+    """Symmetric per-dimension int8 quantizer with asymmetric scoring."""
+
+    def __init__(self) -> None:
+        self.scale: "np.ndarray | None" = None
+
+    def train(self, vectors: np.ndarray) -> "ScalarQuantizer":
+        vectors = np.asarray(vectors)
+        require(vectors.ndim == 2, "vectors must be 2-dimensional")
+        peak = np.abs(vectors).max(axis=0).astype(np.float32)
+        # All-zero dimensions quantize to 0 regardless of scale.
+        peak[peak == 0.0] = 1.0
+        self.scale = peak / np.float32(127.0)
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        require(self.scale is not None, "quantizer is not trained")
+        scaled = np.asarray(vectors, dtype=np.float64) / self.scale
+        return np.clip(np.rint(scaled), -127, 127).astype(np.int8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        require(self.scale is not None, "quantizer is not trained")
+        return codes.astype(np.float32) * self.scale
+
+    def scores(
+        self,
+        queries: np.ndarray,
+        codes: np.ndarray,
+        matmul=np.matmul,
+    ) -> np.ndarray:
+        """Asymmetric ``queries @ decode(codes).T`` without the decode.
+
+        Folding the scale into the (small) query block keeps the code
+        matrix int8 end to end; only the gathered probe subset is cast.
+        """
+        require(self.scale is not None, "quantizer is not trained")
+        scaled = (np.asarray(queries) * self.scale).astype(np.float32)
+        return matmul(scaled, codes.T.astype(np.float32))
+
+    @property
+    def nbytes(self) -> int:
+        """Codebook (scale vector) footprint."""
+        return 0 if self.scale is None else int(self.scale.nbytes)
+
+    def code_bytes(self, n: int) -> int:
+        require(self.scale is not None, "quantizer is not trained")
+        return n * len(self.scale)
+
+
+class ProductQuantizer:
+    """Product quantizer: ``m`` subspace codebooks, one byte per subspace.
+
+    ``n_subspaces`` is rounded down to the largest divisor of the
+    dimensionality; ``n_centroids`` is capped at the training-set size
+    and at 256 (codes are uint8).
+    """
+
+    def __init__(
+        self,
+        n_subspaces: int = 8,
+        n_centroids: int = 256,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        require_positive(n_subspaces, "n_subspaces")
+        require_positive(n_centroids, "n_centroids")
+        require(n_centroids <= 256, "n_centroids must fit a uint8 code")
+        self._requested_subspaces = n_subspaces
+        self._requested_centroids = n_centroids
+        self._seed = seed
+        self.codebooks: "np.ndarray | None" = None  # (m, ksub, dsub)
+
+    @property
+    def n_subspaces(self) -> int:
+        require(self.codebooks is not None, "quantizer is not trained")
+        return self.codebooks.shape[0]
+
+    def train(self, vectors: np.ndarray) -> "ProductQuantizer":
+        """Fit subspace codebooks; returns ``self`` for chaining."""
+        from repro.core.ann import kmeans  # deferred: ann imports us
+
+        vectors = np.asarray(vectors, dtype=np.float64)
+        require(vectors.ndim == 2, "vectors must be 2-dimensional")
+        n, d = vectors.shape
+        require_positive(n, "training vectors")
+        m = max(
+            div
+            for div in range(1, min(self._requested_subspaces, d) + 1)
+            if d % div == 0
+        )
+        ksub = min(self._requested_centroids, n)
+        dsub = d // m
+        rng = ensure_rng(self._seed)
+        codebooks = np.empty((m, ksub, dsub), dtype=np.float32)
+        assignments = np.empty((n, m), dtype=np.uint8)
+        for j in range(m):
+            sub = vectors[:, j * dsub : (j + 1) * dsub]
+            centroids, assigned = kmeans(sub, ksub, seed=rng)
+            codebooks[j] = centroids.astype(np.float32)
+            assignments[:, j] = assigned.astype(np.uint8)
+        self.codebooks = codebooks
+        self._train_codes = assignments
+        logger.info(
+            "PQ: d=%d -> %d subspaces x %d centroids (%.1fx compression)",
+            d,
+            m,
+            ksub,
+            d * 4 / m,
+        )
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centroid code per subspace, shape ``(n, m)`` uint8."""
+        require(self.codebooks is not None, "quantizer is not trained")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        m, _, dsub = self.codebooks.shape
+        codes = np.empty((len(vectors), m), dtype=np.uint8)
+        for j in range(m):
+            sub = vectors[:, j * dsub : (j + 1) * dsub]
+            book = self.codebooks[j].astype(np.float64)
+            d2 = (
+                np.sum(sub**2, axis=1)[:, None]
+                - 2.0 * sub @ book.T
+                + np.sum(book**2, axis=1)[None, :]
+            )
+            codes[:, j] = np.argmin(d2, axis=1).astype(np.uint8)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        require(self.codebooks is not None, "quantizer is not trained")
+        m, _, dsub = self.codebooks.shape
+        out = np.empty((len(codes), m * dsub), dtype=np.float32)
+        for j in range(m):
+            out[:, j * dsub : (j + 1) * dsub] = self.codebooks[j][codes[:, j]]
+        return out
+
+    def lut(self, queries: np.ndarray, matmul=np.matmul) -> np.ndarray:
+        """Per-query subspace partial dot products, ``(B, m, ksub)``."""
+        require(self.codebooks is not None, "quantizer is not trained")
+        queries = np.asarray(queries)
+        m, ksub, dsub = self.codebooks.shape
+        table = np.empty((len(queries), m, ksub), dtype=np.float32)
+        for j in range(m):
+            sub = queries[:, j * dsub : (j + 1) * dsub].astype(np.float32)
+            table[:, j, :] = matmul(sub, self.codebooks[j].T)
+        return table
+
+    def scores(
+        self,
+        queries: np.ndarray,
+        codes: np.ndarray,
+        matmul=np.matmul,
+    ) -> np.ndarray:
+        """ADC scores ``(B, len(codes))`` against gathered uint8 codes.
+
+        Fixed ascending-subspace accumulation keeps the float32 sum
+        independent of batch composition.
+        """
+        table = self.lut(queries, matmul=matmul)
+        m = table.shape[1]
+        acc = table[:, 0, codes[:, 0]]
+        for j in range(1, m):
+            acc = acc + table[:, j, codes[:, j]]
+        return acc
+
+    @property
+    def nbytes(self) -> int:
+        """Codebook footprint."""
+        return 0 if self.codebooks is None else int(self.codebooks.nbytes)
+
+    def code_bytes(self, n: int) -> int:
+        require(self.codebooks is not None, "quantizer is not trained")
+        return n * self.codebooks.shape[0]

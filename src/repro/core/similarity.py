@@ -24,9 +24,24 @@ import numpy as np
 
 from repro.core.model import EmbeddingModel
 from repro.core.vocab import TokenKind
-from repro.utils import require, require_positive
+from repro.utils import ZeroCopyPickle, require, require_positive
 
 _MODES = ("cosine", "directional")
+
+
+def _tiebreak_order(ids: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Per-row column order sorting each row by ``(-score, id)``.
+
+    ``argpartition`` leaves tied scores in memory-layout order, which
+    differs between an unsharded index and the sharded merge's explicit
+    id tiebreak; retrieval everywhere orders ties by ascending id so the
+    two agree bit for bit.  Expects finite or ``-inf`` scores (no NaN).
+    """
+    nq, kk = ids.shape
+    flat = np.lexsort(
+        (ids.ravel(), -scores.ravel(), np.repeat(np.arange(nq), kk))
+    )
+    return flat.reshape(nq, kk) - np.arange(nq)[:, None] * kk
 
 
 def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
@@ -36,7 +51,7 @@ def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
     return matrix / norms
 
 
-class SimilarityIndex:
+class SimilarityIndex(ZeroCopyPickle):
     """Top-K retrieval over the item tokens of an embedding model.
 
     Parameters
@@ -61,12 +76,21 @@ class SimilarityIndex:
         self._vid_row = {int(v): row for row, v in enumerate(item_vids)}
         self._item_row = {int(i): row for row, i in enumerate(self._item_ids)}
 
+        # Serving holds these matrices resident per shard; float32 halves
+        # the footprint and is the baseline the quantized tier's bytes
+        # budget is measured against.
         if mode == "cosine":
-            self._queries = _normalize_rows(model.w_in[item_vids])
+            self._queries = _normalize_rows(model.w_in[item_vids]).astype(
+                np.float32
+            )
             self._candidates = self._queries
         else:
-            self._queries = _normalize_rows(model.w_in[item_vids])
-            self._candidates = _normalize_rows(model.w_out[item_vids])
+            self._queries = _normalize_rows(model.w_in[item_vids]).astype(
+                np.float32
+            )
+            self._candidates = _normalize_rows(model.w_out[item_vids]).astype(
+                np.float32
+            )
 
     @property
     def n_items(self) -> int:
@@ -165,7 +189,7 @@ class SimilarityIndex:
         if k <= 0:
             return np.empty(0, dtype=np.int64), np.empty(0)
         top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top], kind="stable")]
+        top = top[np.lexsort((self._item_ids[top], -scores[top]))]
         return self._item_ids[top], scores[top]
 
     def topk_batch(
@@ -188,7 +212,7 @@ class SimilarityIndex:
         kk = min(k, avail)
         top = np.argpartition(-scores, kk - 1, axis=1)[:, :kk]
         row_scores = np.take_along_axis(scores, top, axis=1)
-        order = np.argsort(-row_scores, axis=1, kind="stable")
+        order = _tiebreak_order(self._item_ids[top], row_scores)
         top = np.take_along_axis(top, order, axis=1)
         result = np.full((len(item_ids), k), -1, dtype=np.int64)
         result[:, :kk] = self._item_ids[top]

@@ -67,6 +67,7 @@ from repro.serving.store import (
     ModelStore,
     build_bundle,
     popularity_ranking,
+    share_bundle,
 )
 from repro.serving.sharding import (
     ShardedMatchingService,
@@ -112,6 +113,7 @@ __all__ = [
     "ModelStore",
     "build_bundle",
     "popularity_ranking",
+    "share_bundle",
     "LoadMix",
     "run_load",
     "synth_requests",

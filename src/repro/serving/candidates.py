@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.similarity import SimilarityIndex
 from repro.data.schema import BehaviorDataset
-from repro.utils import get_logger, require, require_positive
+from repro.utils import ZeroCopyPickle, get_logger, require, require_positive
 
 logger = get_logger("serving.candidates")
 
@@ -47,7 +47,7 @@ class CandidateTableConfig:
             require_positive(self.max_per_brand, "max_per_brand")
 
 
-class CandidateTable:
+class CandidateTable(ZeroCopyPickle):
     """Immutable ranked candidate lists, one per item.
 
     Construct via :func:`build_candidate_table` or :meth:`load`.

@@ -105,6 +105,11 @@ class ShardWorkerPool:
     def n_shards(self) -> int:
         return len(self._processes)
 
+    @property
+    def pids(self) -> list[int]:
+        """Worker process ids (for per-process residency accounting)."""
+        return [process.pid for process in self._processes]
+
     def _call(self, shard_id: int, message: tuple):
         with self._locks[shard_id]:
             self._conns[shard_id].send(message)

@@ -543,18 +543,26 @@ class RefreshDaemon:
 
     def _flip(self, artifacts) -> "list[int] | int":
         if not self._sharded:
-            self._store.swap(artifacts)
+            old = self._store.swap(artifacts)
             if self._service is not None:
                 self._metrics.incr("swaps")
+            old.release()
             return self._store.version
         bundles, assignment = artifacts
+        retired = []
         for shard, bundle in enumerate(bundles):
             if self._service is not None:
                 # Through the service so an attached worker pool swaps too.
-                self._service.swap_shard(shard, bundle)
+                retired.append(self._service.swap_shard(shard, bundle))
             else:
-                self._store.swap_shard(shard, bundle)
+                retired.append(self._store.swap_shard(shard, bundle))
         self._store.update_partition(assignment)
+        # Retire the whole old generation only after every shard flipped:
+        # segments may be shared across its shard bundles (the model
+        # matrices), and release is unlink-only — readers still holding a
+        # snapshot keep valid pages until their references drop.
+        for bundle in retired:
+            bundle.release()
         return self._store.versions
 
     # ------------------------------------------------------------------

@@ -57,6 +57,7 @@ from repro.serving.store import (
     ModelBundle,
     ModelStore,
     popularity_ranking,
+    share_bundle,
 )
 from repro.utils import get_logger, require, require_positive
 
@@ -80,6 +81,11 @@ def build_shard_bundle(
     table_coverage: float = 1.0,
     seed: "int | np.random.Generator | None" = 0,
     index: SimilarityIndex | None = None,
+    ann_precision: str = "float32",
+    ann_rerank: int = 4,
+    share_memory: bool = False,
+    share_backend: str = "shm",
+    share_dir: "str | None" = None,
 ) -> ModelBundle:
     """Materialize the serving artifacts owned by one HBGP partition.
 
@@ -93,6 +99,10 @@ def build_shard_bundle(
     the covered set is the first fraction of the *global* index order,
     intersected with this shard, so the union of all shard tables equals
     the monolithic table at the same coverage.
+
+    ``ann_precision`` / ``ann_rerank`` select the quantized retrieval
+    tier per shard; ``share_memory`` moves the shard's big arrays into
+    zero-copy segments so worker processes attach instead of copying.
     """
     require(0.0 < table_coverage <= 1.0, "table_coverage must be in (0, 1]")
     full = index if index is not None else SimilarityIndex(model, mode=mode)
@@ -115,7 +125,14 @@ def build_shard_bundle(
     cells = n_cells
     if cells is not None:
         cells = min(cells, shard_index.n_items)
-    ann = IVFIndex(shard_index, n_cells=cells, n_probe=n_probe, seed=seed)
+    ann = IVFIndex(
+        shard_index,
+        n_cells=cells,
+        n_probe=n_probe,
+        seed=seed,
+        precision=ann_precision,
+        rerank=ann_rerank,
+    )
 
     # The shard's slice of the *global* click ranking: scores keep their
     # global normalization so per-shard lists merge back into the global
@@ -128,7 +145,7 @@ def build_shard_bundle(
         popular_items = popular_items[:max_popular]
         popular_scores = popular_scores[:max_popular]
 
-    return ModelBundle(
+    bundle = ModelBundle(
         version=0,
         model=model,
         index=shard_index,
@@ -137,6 +154,9 @@ def build_shard_bundle(
         popular_items=popular_items,
         popular_scores=popular_scores,
     )
+    if share_memory:
+        bundle = share_bundle(bundle, backend=share_backend, directory=share_dir)
+    return bundle
 
 
 def build_shard_bundles(

@@ -28,7 +28,7 @@ from repro.serving.candidates import (
     CandidateTableConfig,
     build_candidate_table,
 )
-from repro.utils import get_logger, require
+from repro.utils import get_logger, require, share_object
 
 logger = get_logger("serving.store")
 
@@ -53,6 +53,11 @@ class ModelBundle:
     popular_items, popular_scores:
         Click-ranked items for the popularity fallback tier; scores are
         normalized click shares.
+    segments:
+        Zero-copy segment handles backing the bundle's big arrays (empty
+        unless built via :func:`share_bundle`).  Worker processes and
+        later generations attach to these instead of copying; the
+        creator calls :meth:`release` when the generation retires.
     """
 
     version: int
@@ -62,6 +67,72 @@ class ModelBundle:
     table: CandidateTable
     popular_items: np.ndarray
     popular_scores: np.ndarray
+    segments: tuple = ()
+
+    def release(self) -> None:
+        """Release this generation's zero-copy segments (idempotent).
+
+        Unlinks segments in the creating process only; attached readers
+        (workers, in-flight requests) keep valid pages until their own
+        mappings drop.  A bundle with no segments is a no-op.
+        """
+        for segment in self.segments:
+            segment.release()
+
+    @property
+    def segment_names(self) -> tuple:
+        """Backing segment names (for residency accounting/tests)."""
+        return tuple(segment.name for segment in self.segments)
+
+
+#: Array attributes moved into zero-copy segments by :func:`share_bundle`.
+#: The registry de-duplicates aliases (cosine-mode ``_queries is
+#: _candidates``; the ANN index references the similarity index's matrix),
+#: so each distinct array costs exactly one segment.
+_SHARED_ATTRS = (
+    ("model", ("w_in", "w_out")),
+    ("index", ("_queries", "_candidates")),
+    ("ann", ("_candidates", "_codes")),
+    ("table", ("_candidates", "_scores")),
+)
+
+
+def share_bundle(
+    bundle: ModelBundle,
+    backend: str = "shm",
+    directory: "str | None" = None,
+) -> ModelBundle:
+    """Move the bundle's big arrays into zero-copy segments.
+
+    After this, pickling the bundle (worker-pool swaps, spawn-start
+    workers) ships segment *names*; every process maps the same physical
+    pages, so N workers x 2 hot-swap generations cost ~1 copy of the
+    candidate matrix instead of 2N.  Returns the bundle with its
+    ``segments`` recorded; the artifacts themselves are mutated in place
+    (their arrays become read-only views).
+    """
+    registry: dict = {}
+    handles: list = []
+    for field_name, attrs in _SHARED_ATTRS:
+        obj = getattr(bundle, field_name)
+        if obj is None:
+            continue
+        handles.extend(
+            share_object(
+                obj,
+                attrs,
+                backend=backend,
+                directory=directory,
+                registry=registry,
+            )
+        )
+    logger.info(
+        "shared bundle: %d segments, %.1f MiB (backend=%s)",
+        len(handles),
+        sum(h.nbytes for h in handles) / 2**20,
+        backend,
+    )
+    return replace(bundle, segments=tuple(handles))
 
 
 def popularity_ranking(
@@ -98,20 +169,38 @@ def build_bundle(
     max_popular: int | None = 1000,
     table_coverage: float = 1.0,
     seed: "int | np.random.Generator | None" = 0,
+    ann_precision: str = "float32",
+    ann_rerank: int = 4,
+    share_memory: bool = False,
+    share_backend: str = "shm",
+    share_dir: "str | None" = None,
 ) -> ModelBundle:
     """Materialize every serving artifact for one model generation.
 
     This is the expensive half of a refresh (k-means for the IVF index,
-    the filtered candidate table); call it *before* handing the result
-    to :meth:`ModelStore.swap` so the swap itself stays O(1).
+    quantizer training, the filtered candidate table); call it *before*
+    handing the result to :meth:`ModelStore.swap` so the swap itself
+    stays O(1).
 
     ``table_coverage < 1.0`` keeps only that fraction of items in the
     candidate table — the rest fall through to the live-ANN tier, like
     items listed after the nightly build.
+
+    ``ann_precision`` selects the retrieval tier's memory mode (int8 /
+    product quantization with exact re-rank of ``ann_rerank * k``);
+    ``share_memory`` moves the bundle's big arrays into zero-copy
+    segments (see :func:`share_bundle`).
     """
     require(0.0 < table_coverage <= 1.0, "table_coverage must be in (0, 1]")
     index = SimilarityIndex(model, mode=mode)
-    ann = IVFIndex(index, n_cells=n_cells, n_probe=n_probe, seed=seed)
+    ann = IVFIndex(
+        index,
+        n_cells=n_cells,
+        n_probe=n_probe,
+        seed=seed,
+        precision=ann_precision,
+        rerank=ann_rerank,
+    )
     table = build_candidate_table(index, dataset, table_config)
     if table_coverage < 1.0:
         # The cut must come from the table's *own* item ordering — slicing
@@ -120,7 +209,7 @@ def build_bundle(
         covered = table.item_ids[: max(1, int(len(table) * table_coverage))]
         table = table.subset(covered)
     popular_items, popular_scores = popularity_ranking(dataset, max_popular)
-    return ModelBundle(
+    bundle = ModelBundle(
         version=0,
         model=model,
         index=index,
@@ -129,6 +218,9 @@ def build_bundle(
         popular_items=popular_items,
         popular_scores=popular_scores,
     )
+    if share_memory:
+        bundle = share_bundle(bundle, backend=share_backend, directory=share_dir)
+    return bundle
 
 
 class ModelStore:
@@ -143,6 +235,7 @@ class ModelStore:
         self._lock = threading.Lock()
         self._bundle = replace(bundle, version=max(bundle.version, 0))
         self._swapped_at = time.time()
+        self._swapped_monotonic = time.monotonic()
 
     def current(self) -> ModelBundle:
         """The live bundle (an immutable snapshot; safe to hold)."""
@@ -157,18 +250,25 @@ class ModelStore:
 
     @property
     def swapped_at(self) -> float:
-        """Unix timestamp of the last swap (store creation counts as one)."""
+        """Wall-clock timestamp of the last swap, for logs/display only.
+
+        Never subtract this from ``time.time()`` to get an age — an NTP
+        step between swap and read would make the result negative or
+        wildly inflated; use :attr:`generation_age_s`.
+        """
         return self._swapped_at
 
     @property
     def generation_age_s(self) -> float:
-        """Seconds since the live generation was installed.
+        """Seconds since the live generation was installed (monotonic).
 
         The refresh daemon exports this as a gauge: a growing age with a
         running daemon means refreshes are failing (the circuit breaker
         and the drift gate both leave the old generation serving).
+        Measured on the monotonic clock so wall-clock steps (NTP, DST,
+        manual `date`) cannot produce a negative or inflated age.
         """
-        return time.time() - self._swapped_at
+        return time.monotonic() - self._swapped_monotonic
 
     def swap(self, bundle: ModelBundle) -> ModelBundle:
         """Install ``bundle`` as the live generation; returns the old one.
@@ -182,6 +282,7 @@ class ModelStore:
             old = self._bundle
             self._bundle = replace(bundle, version=old.version + 1)
             self._swapped_at = time.time()
+            self._swapped_monotonic = time.monotonic()
             logger.info(
                 "hot swap: bundle v%d -> v%d (%d items in table)",
                 old.version,

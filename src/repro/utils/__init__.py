@@ -15,6 +15,13 @@ from repro.utils.validation import (
     require_in_range,
     require_type,
 )
+from repro.utils.shm import (
+    MappedArray,
+    SharedArray,
+    ZeroCopyPickle,
+    share_array,
+    share_object,
+)
 
 __all__ = [
     "ensure_rng",
@@ -25,4 +32,9 @@ __all__ = [
     "require_positive",
     "require_in_range",
     "require_type",
+    "MappedArray",
+    "SharedArray",
+    "ZeroCopyPickle",
+    "share_array",
+    "share_object",
 ]

@@ -3,7 +3,52 @@
 import numpy as np
 import pytest
 
-from repro.core.ann import IVFIndex, kmeans
+from repro.core.ann import IVFIndex, _blocked_matmul, kmeans
+
+
+class _ScriptedGenerator(np.random.Generator):
+    """A Generator whose index draws follow a script.
+
+    ``ensure_rng`` passes Generator instances through unchanged, so this
+    lets a test force the k-means++ seeding onto specific points —
+    including duplicate seeds, which otherwise require degenerate data.
+    """
+
+    def __init__(self, picks):
+        super().__init__(np.random.PCG64(0))
+        self._picks = list(picks)
+
+    def integers(self, *args, **kwargs):
+        return self._picks.pop(0)
+
+    def choice(self, *args, **kwargs):
+        return self._picks.pop(0)
+
+
+class TestBlockedMatmul:
+    def test_padding_preserves_dtype(self):
+        """Regression: the zero pad must not upcast float32 queries.
+
+        A float64 pad block would silently promote the GEMM to float64
+        exactly when padding fires, so the same query would see
+        different-precision kernels at different batch sizes.
+        """
+        rng = np.random.default_rng(0)
+        queries = rng.normal(size=(5, 8)).astype(np.float32)  # 5 -> pad to 32
+        base_t = rng.normal(size=(8, 20)).astype(np.float32)
+        out = _blocked_matmul(queries, base_t)
+        assert out.dtype == np.float32
+        assert out.shape == (5, 20)
+        np.testing.assert_allclose(out, queries @ base_t, rtol=1e-6)
+
+    def test_rows_batch_invariant(self):
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(40, 8)).astype(np.float32)
+        base_t = rng.normal(size=(8, 30)).astype(np.float32)
+        batch = _blocked_matmul(queries, base_t)
+        for row in (0, 7, 39):
+            single = _blocked_matmul(queries[row : row + 1], base_t)
+            np.testing.assert_array_equal(batch[row], single[0])
 
 
 class TestKMeans:
@@ -46,6 +91,42 @@ class TestKMeans:
         a = kmeans(x, 4, seed=9)[1]
         b = kmeans(x, 4, seed=9)[1]
         np.testing.assert_array_equal(a, b)
+
+    def test_empty_clusters_reseed_to_distinct_points(self):
+        """Regression: multiple empty clusters must get *distinct* seeds.
+
+        The scripted rng seeds three centroids on the same duplicated
+        point, so two clusters come up empty on the first assignment.
+        The old re-seed placed every empty at the argmax of the *stale*
+        distance map, i.e. the same point for both — duplicate centroids
+        that never separated.  Re-seeding against the freshly updated
+        centroids (and shrinking the gap after each pick) recovers one
+        centroid per distinct location.
+        """
+        points = np.array(
+            [[0.0, 0.0]] * 3  # duplicated blob: indices 0-2
+            + [[10.0, 0.0], [0.0, 10.0], [20.0, 20.0], [-20.0, 20.0]]
+        )
+        # Seeding picks indices 0,1,2 (the duplicate point, thrice), 3, 4.
+        rigged = _ScriptedGenerator([0, 1, 2, 3, 4])
+        centroids, assignments = kmeans(points, 5, seed=rigged)
+        distinct = np.unique(np.round(centroids, 9), axis=0)
+        assert len(distinct) == 5
+        assert set(np.unique(assignments)) == set(range(5))
+
+    @pytest.mark.parametrize("k", [5, 6])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_duplicate_heavy_data_fills_every_location(self, k, seed):
+        """With 6 distinct locations, k <= 6 clusters must all separate."""
+        rng = np.random.default_rng(41)
+        locations = np.array(
+            [[0, 0], [8, 0], [0, 8], [8, 8], [4, 16], [16, 4]], dtype=float
+        )
+        repeats = rng.integers(3, 12, size=6)
+        x = np.repeat(locations, repeats, axis=0)
+        centroids, _ = kmeans(x, k, seed=seed)
+        distinct = np.unique(np.round(centroids, 9), axis=0)
+        assert len(distinct) == k
 
 
 @pytest.fixture(scope="module")
@@ -148,3 +229,75 @@ class TestTopkBatch:
         ivf = IVFIndex(exact_index, n_cells=4, seed=0)
         with pytest.raises(ValueError):
             ivf.topk_batch(exact_index.item_ids[:2], 0)
+
+
+@pytest.mark.parametrize("precision", ["int8", "pq"])
+class TestQuantizedIVF:
+    @pytest.fixture
+    def quantized(self, exact_index, precision):
+        return IVFIndex(
+            exact_index, n_cells=8, n_probe=8, seed=0, precision=precision
+        )
+
+    def test_recall_close_to_exact(self, quantized, exact_index, precision):
+        queries = exact_index.item_ids[:40]
+        recall = quantized.recall_at_k(queries, k=10)
+        assert recall >= 0.95
+
+    def test_query_excluded(self, quantized, exact_index, precision):
+        queries = exact_index.item_ids[:15]
+        batch_ids, _ = quantized.topk_batch(queries, 10)
+        for row, item in enumerate(queries):
+            assert int(item) not in batch_ids[row]
+
+    def test_batch_matches_single(self, quantized, exact_index, precision):
+        queries = exact_index.item_ids[:20]
+        batch_ids, batch_scores = quantized.topk_batch(queries, 10)
+        for row, item in enumerate(queries):
+            single_ids, single_scores = quantized.topk(int(item), 10)
+            valid = batch_ids[row] >= 0
+            np.testing.assert_array_equal(batch_ids[row][valid], single_ids)
+            np.testing.assert_array_equal(
+                batch_scores[row][valid], single_scores
+            )
+
+    def test_padding_matches_float32(self, quantized, exact_index, precision):
+        """Overlong k pads with -1/NaN exactly where float32 does."""
+        exact_ivf = IVFIndex(exact_index, n_cells=8, n_probe=8, seed=0)
+        n = exact_index.n_items
+        queries = exact_index.item_ids[:4]
+        q_ids, q_scores = quantized.topk_batch(queries, n + 5)
+        f_ids, f_scores = exact_ivf.topk_batch(queries, n + 5)
+        np.testing.assert_array_equal(q_ids < 0, f_ids < 0)
+        pads = q_ids < 0
+        assert pads.any()
+        assert np.all(np.isnan(q_scores[pads]))
+        assert not np.isnan(q_scores[~pads]).any()
+
+    def test_scores_are_exact_reranks(self, quantized, exact_index, precision):
+        """Returned scores come from the float re-rank, not the codes."""
+        item = int(exact_index.item_ids[0])
+        ids, scores = quantized.topk(item, 5)
+        query = exact_index.query_vector(item)
+        for got_id, got_score in zip(ids, scores):
+            row = int(np.flatnonzero(exact_index.item_ids == got_id)[0])
+            want = float(query @ exact_index._candidates[row])
+            assert got_score == pytest.approx(want, rel=1e-5)
+
+    def test_resident_bytes_below_float32(self, exact_index, precision):
+        exact_ivf = IVFIndex(exact_index, n_cells=8, n_probe=8, seed=0)
+        full = exact_ivf.index_bytes()
+        # A toy catalogue needs a toy codebook, or the PQ centroids
+        # outweigh the 200-item float matrix they replace.
+        tier = IVFIndex(
+            exact_index,
+            n_cells=8,
+            n_probe=8,
+            seed=0,
+            precision=precision,
+            pq_centroids=32,
+        ).index_bytes()
+        assert full["vectors"] > 0 and full["codes"] == 0
+        assert tier["vectors"] == 0 and tier["codes"] > 0
+        assert tier["rerank_vectors"] == full["vectors"]
+        assert tier["resident"] < full["resident"]

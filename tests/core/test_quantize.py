@@ -1,0 +1,124 @@
+"""Unit tests for the int8 and product quantizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ann import _blocked_matmul
+from repro.core.quantize import PRECISIONS, ProductQuantizer, ScalarQuantizer
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(80, 16))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+class TestScalarQuantizer:
+    def test_codes_fit_int8(self, vectors):
+        codes = ScalarQuantizer().train(vectors).encode(vectors)
+        assert codes.dtype == np.int8
+        assert codes.min() >= -127 and codes.max() <= 127
+
+    def test_decode_error_bounded_by_half_step(self, vectors):
+        sq = ScalarQuantizer().train(vectors)
+        decoded = sq.decode(sq.encode(vectors))
+        # Rounding to the nearest code leaves at most half a step per dim.
+        assert np.all(np.abs(decoded - vectors) <= sq.scale / 2 + 1e-7)
+
+    def test_scores_match_asymmetric_decode(self, vectors):
+        sq = ScalarQuantizer().train(vectors)
+        codes = sq.encode(vectors)
+        queries = vectors[:7]
+        got = sq.scores(queries, codes)
+        want = (queries * sq.scale).astype(np.float32) @ codes.T.astype(
+            np.float32
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_zero_dimension_is_scale_safe(self):
+        x = np.zeros((10, 4))
+        x[:, 0] = np.linspace(-1, 1, 10)
+        sq = ScalarQuantizer().train(x)
+        assert np.all(sq.scale > 0)
+        assert np.all(sq.encode(x)[:, 1:] == 0)
+
+    def test_footprint(self, vectors):
+        sq = ScalarQuantizer().train(vectors)
+        assert sq.nbytes == 16 * 4  # float32 scale per dim
+        assert sq.code_bytes(100) == 100 * 16
+
+    def test_untrained_raises(self, vectors):
+        with pytest.raises(ValueError):
+            ScalarQuantizer().encode(vectors)
+
+
+class TestProductQuantizer:
+    def test_subspaces_round_down_to_divisor(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 12))
+        pq = ProductQuantizer(n_subspaces=8, n_centroids=16).train(x)
+        # 8 does not divide 12; the largest divisor <= 8 is 6.
+        assert pq.n_subspaces == 6
+        assert pq.codebooks.shape == (6, 16, 2)
+
+    def test_centroids_capped_at_training_size(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(9, 4))
+        pq = ProductQuantizer(n_subspaces=2, n_centroids=256).train(x)
+        assert pq.codebooks.shape[1] == 9
+
+    def test_codes_shape_and_dtype(self, vectors):
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=32).train(vectors)
+        codes = pq.encode(vectors)
+        assert codes.shape == (len(vectors), 4)
+        assert codes.dtype == np.uint8
+
+    def test_scores_match_decoded_dot_products(self, vectors):
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=32).train(vectors)
+        codes = pq.encode(vectors)
+        queries = vectors[:6]
+        got = pq.scores(queries, codes)
+        want = queries.astype(np.float32) @ pq.decode(codes).T
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_scores_batch_invariant(self, vectors):
+        """ADC through the blocked GEMM is byte-stable across batch sizes."""
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=32).train(vectors)
+        codes = pq.encode(vectors)
+        queries = np.ascontiguousarray(vectors[:40])
+        batch = pq.scores(queries, codes, matmul=_blocked_matmul)
+        for row in (0, 17, 39):
+            single = pq.scores(
+                queries[row : row + 1], codes, matmul=_blocked_matmul
+            )
+            np.testing.assert_array_equal(batch[row], single[0])
+
+    def test_train_deterministic(self, vectors):
+        a = ProductQuantizer(n_subspaces=4, n_centroids=16, seed=3).train(
+            vectors
+        )
+        b = ProductQuantizer(n_subspaces=4, n_centroids=16, seed=3).train(
+            vectors
+        )
+        np.testing.assert_array_equal(a.codebooks, b.codebooks)
+
+    def test_quantization_error_below_naive(self, vectors):
+        """PQ reconstruction must beat collapsing everything to the mean."""
+        pq = ProductQuantizer(n_subspaces=8, n_centroids=32).train(vectors)
+        decoded = pq.decode(pq.encode(vectors))
+        err = np.linalg.norm(decoded - vectors, axis=1).mean()
+        naive = np.linalg.norm(vectors - vectors.mean(axis=0), axis=1).mean()
+        assert err < naive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(n_centroids=257)
+        with pytest.raises(ValueError):
+            ProductQuantizer(n_subspaces=0)
+        with pytest.raises(ValueError):
+            ProductQuantizer().encode(np.zeros((2, 4)))
+
+
+def test_precisions_constant():
+    assert PRECISIONS == ("float32", "int8", "pq")

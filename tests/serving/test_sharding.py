@@ -5,6 +5,10 @@ import threading
 import numpy as np
 import pytest
 
+from repro.core.ann import IVFIndex
+from repro.core.model import EmbeddingModel
+from repro.core.similarity import SimilarityIndex
+from repro.core.vocab import TokenKind, Vocabulary
 from repro.graph.hbgp import HBGPConfig, PartitionResult, hbgp_partition
 from repro.serving import (
     MatchingService,
@@ -258,6 +262,77 @@ class TestRoutingEquivalence:
         shard_hr = evaluate_service_hitrate(sharded, test, ks=(5, 10))
         assert shard_hr.hit_rates == flat_hr.hit_rates
         assert 0.0 <= shard_hr.hit_rates[10] <= 1.0
+
+
+class TestTieHeavyEquivalence:
+    """Scatter-gather must equal the unsharded index under massive ties.
+
+    Sixty items share five embedding directions, so every query sees
+    ~12-way score ties that straddle shard boundaries.  Equivalence then
+    rests entirely on both sides ordering by ``(-score, id)``: the
+    unsharded index via its tie-break pass, the sharded path via
+    ``merge_topk``'s tie rule.  (The duplicate-heavy vectors also push
+    k-means through its empty-cluster re-seed path on every build.)
+    """
+
+    N_ITEMS = 60
+    N_BASES = 5
+
+    @pytest.fixture(scope="class")
+    def tie_world(self):
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=(self.N_BASES, 8))
+        vocab = Vocabulary()
+        for i in range(self.N_ITEMS):
+            vocab.add(f"item_{i}", TokenKind.ITEM, payload=i)
+        w_in = np.vstack(
+            [base[i % self.N_BASES] for i in range(self.N_ITEMS)]
+        )
+        model = EmbeddingModel(vocab, w_in, w_in.copy())
+        full = SimilarityIndex(model, mode="cosine")
+        full_ivf = IVFIndex(full, n_cells=4, n_probe=4, seed=0)
+        shard_anns = []
+        for shard in range(N_SHARDS):
+            owned = np.flatnonzero(
+                np.arange(self.N_ITEMS) % N_SHARDS == shard
+            ).astype(np.int64)
+            shard_anns.append(
+                IVFIndex(full.restrict(owned), n_cells=4, n_probe=4, seed=0)
+            )
+        return full, full_ivf, shard_anns
+
+    def test_fixture_is_tie_heavy(self, tie_world):
+        _full, full_ivf, _anns = tie_world
+        _ids, scores = full_ivf.topk(0, K)
+        assert len(np.unique(scores)) < len(scores)
+
+    def test_scatter_matches_unsharded(self, tie_world):
+        full, full_ivf, shard_anns = tie_world
+        for item in range(0, self.N_ITEMS, 7):
+            want_ids, want_scores = full_ivf.topk(item, K)
+            vector = full.query_vector(item)[None, :]
+            exclude = np.asarray([item], dtype=np.int64)
+            parts = []
+            for ann in shard_anns:
+                ids, scores = ann.topk_by_vector_batch(
+                    vector, K, exclude_items=exclude
+                )
+                parts.append((ids[0], scores[0]))
+            got_ids, got_scores = merge_topk(parts, K, exclude_item=item)
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_array_equal(got_scores, want_scores)
+
+    def test_batch_matches_single_on_ties(self, tie_world):
+        _full, full_ivf, _anns = tie_world
+        queries = np.arange(0, self.N_ITEMS, 5, dtype=np.int64)
+        batch_ids, batch_scores = full_ivf.topk_batch(queries, K)
+        for row, item in enumerate(queries):
+            single_ids, single_scores = full_ivf.topk(int(item), K)
+            valid = batch_ids[row] >= 0
+            np.testing.assert_array_equal(batch_ids[row][valid], single_ids)
+            np.testing.assert_array_equal(
+                batch_scores[row][valid], single_scores
+            )
 
 
 class TestShardSwaps:

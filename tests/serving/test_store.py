@@ -1,9 +1,12 @@
 """Tests for the double-buffered model store and bundle building."""
 
+import pickle
+
 import numpy as np
 import pytest
 
-from repro.serving import build_bundle, popularity_ranking
+from repro.core.model import EmbeddingModel
+from repro.serving import ModelStore, build_bundle, popularity_ranking
 from repro.serving.store import ModelBundle
 
 
@@ -125,3 +128,109 @@ class TestModelStore:
         assert old.version == 0
         assert fresh_store.version == 1
         assert len(fresh_store.current().table) < fresh_store.current().index.n_items
+
+    def test_generation_age_survives_wall_clock_steps(
+        self, serving_bundle, monkeypatch
+    ):
+        """Regression: the age gauge must come off the monotonic clock.
+
+        An NTP step between swap and read used to drive
+        ``generation_age_s`` negative (or inflate it), which tripped the
+        refresh daemon's staleness alarm on healthy stores.
+        """
+        import repro.serving.store as store_mod
+
+        wall = {"t": 1_000_000.0}
+        mono = {"t": 50.0}
+        monkeypatch.setattr(store_mod.time, "time", lambda: wall["t"])
+        monkeypatch.setattr(store_mod.time, "monotonic", lambda: mono["t"])
+        store = ModelStore(serving_bundle)
+        mono["t"] += 7.5
+        wall["t"] -= 3600.0  # wall clock steps an hour backwards
+        assert store.generation_age_s == pytest.approx(7.5)
+        assert store.swapped_at == pytest.approx(1_000_000.0)
+        store.swap(serving_bundle)
+        mono["t"] += 2.0
+        assert store.generation_age_s == pytest.approx(2.0)
+
+
+@pytest.fixture()
+def shared_bundle(fitted_sisg, tiny_split):
+    """A zero-copy bundle over a *copy* of the shared model.
+
+    ``share_object`` swaps the model's arrays for read-only segment
+    views in place, so the session-scoped fitted model must not be the
+    one shared.
+    """
+    train, _ = tiny_split
+    source = fitted_sisg.model
+    model = EmbeddingModel(
+        source.vocab, source.w_in.copy(), source.w_out.copy()
+    )
+    bundle = build_bundle(
+        model,
+        train,
+        n_cells=8,
+        seed=0,
+        ann_precision="int8",
+        share_memory=True,
+    )
+    yield bundle
+    bundle.release()
+
+
+class TestSharedBundle:
+    def test_segments_recorded_and_deduped(self, shared_bundle):
+        assert shared_bundle.segments
+        names = shared_bundle.segment_names
+        assert len(names) == len(set(names))
+        # The ANN index rides on the similarity index's matrix; sharing
+        # must keep that aliasing (one segment, one physical copy).
+        assert shared_bundle.ann._candidates is shared_bundle.index._candidates
+
+    def test_pickle_ships_handles_not_bytes(self, shared_bundle):
+        blob = pickle.dumps(shared_bundle)
+        payload = sum(h.nbytes for h in shared_bundle.segments)
+        assert len(blob) < payload
+        clone = pickle.loads(blob)
+        item = int(shared_bundle.index.item_ids[0])
+        want_ids, want_scores = shared_bundle.ann.topk(item, 10)
+        got_ids, got_scores = clone.ann.topk(item, 10)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_array_equal(got_scores, want_scores)
+        assert clone.ann._candidates is clone.index._candidates
+
+    def test_swap_preserves_segments(self, fresh_store, shared_bundle):
+        fresh_store.swap(shared_bundle)
+        assert fresh_store.current().segment_names == shared_bundle.segment_names
+
+    def test_release_keeps_live_views_readable(self, shared_bundle):
+        """Retiring a generation must not dangle in-flight readers."""
+        item = int(shared_bundle.index.item_ids[0])
+        want_ids, want_scores = shared_bundle.ann.topk(item, 10)
+        shared_bundle.release()
+        shared_bundle.release()  # idempotent
+        assert all(h.released for h in shared_bundle.segments)
+        got_ids, got_scores = shared_bundle.ann.topk(item, 10)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_array_equal(got_scores, want_scores)
+
+    def test_release_unlinks_for_late_attachers(self, shared_bundle):
+        stale = pickle.loads(pickle.dumps(shared_bundle.segments[0]))
+        shared_bundle.release()
+        with pytest.raises(FileNotFoundError):
+            _ = stale.array
+
+    def test_reshare_roundtrip_matches_plain_bundle(
+        self, fitted_sisg, tiny_split, shared_bundle
+    ):
+        train, _ = tiny_split
+        plain = build_bundle(
+            fitted_sisg.model, train, n_cells=8, seed=0, ann_precision="int8"
+        )
+        clone = pickle.loads(pickle.dumps(shared_bundle))
+        for item in plain.index.item_ids[:5]:
+            want_ids, want_scores = plain.ann.topk(int(item), 10)
+            got_ids, got_scores = clone.ann.topk(int(item), 10)
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_array_equal(got_scores, want_scores)
