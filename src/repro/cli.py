@@ -21,7 +21,12 @@ Commands mirror the production workflow:
   HTTP ``/recommend`` with request coalescing, load shedding, and
   (``--refresh-every``) swap-coordinated nightly refreshes;
 - ``sisg netload`` — multi-process open-loop network load against a
-  running gateway; reports QPS, p50/p95/p99, shed and error rates.
+  running gateway; reports QPS, p50/p95/p99, shed and error rates;
+- ``sisg stream`` — streaming ingest demo: stand a gateway up, feed a
+  synthetic click stream with brand-new listings through the
+  micro-batch applier (windows promoted under the swap gate), fire
+  traffic mid-stream, and report whether the new items became
+  servable, staleness, and apply latency as JSON.
 
 ``serve-demo``, ``loadgen``, ``refresh-daemon`` and ``serve`` accept
 ``--shards N``
@@ -135,6 +140,15 @@ def _add_serve_demo(sub: argparse._SubParsersAction) -> None:
         metavar="SECONDS",
         help="run the hot swap through the background refresh daemon"
         " at this interval instead of a manual rebuild",
+    )
+    p.add_argument(
+        "--stream-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="after the walk, run the streaming applier at this interval"
+        " over a synthetic click stream and show a brand-new listing"
+        " becoming servable",
     )
     _add_shard_args(p)
 
@@ -279,6 +293,14 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         help="run the nightly refresh daemon at this interval, with"
         " promotions coordinated through the gateway's swap gate",
     )
+    p.add_argument(
+        "--stream-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll a synthetic click stream and apply micro-batch windows"
+        " at this interval, promotions through the gateway's swap gate",
+    )
     p.add_argument("--table-coverage", type=float, default=0.8)
     p.add_argument("--cells", type=int, default=None, help="IVF cells")
     p.add_argument("--seed", type=int, default=0)
@@ -309,7 +331,8 @@ def _add_netload(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--mix",
         default="0.7,0.1,0.1,0.1",
-        help="warm,cold_item,cold_user,unknown weights (renormalized)",
+        help="warm,cold_item,cold_user,unknown[,cold_wave] weights"
+        " (renormalized; the 5th adds a cold-start wave burst)",
     )
     p.add_argument("--zipf-a", type=float, default=1.2)
     p.add_argument("--timeout", type=float, default=15.0)
@@ -329,7 +352,8 @@ def _add_loadgen(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--mix",
         default="0.7,0.1,0.1,0.1",
-        help="warm,cold_item,cold_user,unknown fractions (sum to 1)",
+        help="warm,cold_item,cold_user,unknown[,cold_wave] fractions"
+        " (renormalized; the 5th adds a cold-start wave burst)",
     )
     p.add_argument("--table-coverage", type=float, default=0.8)
     p.add_argument("--cells", type=int, default=None, help="IVF cells")
@@ -340,6 +364,54 @@ def _add_loadgen(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None, help="also write the JSON report here")
+    _add_shard_args(p)
+
+
+def _add_stream(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "stream",
+        help="streaming ingest smoke: apply live windows under a gateway"
+        " (exits 1 unless every window landed with zero request errors)",
+    )
+    p.add_argument("dataset", help="dataset .npz bundle")
+    p.add_argument("model", help="model path prefix (from `sisg train`)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument("--windows", type=int, default=2, help="windows to apply")
+    p.add_argument(
+        "--new-items-per-window",
+        type=int,
+        default=2,
+        help="brand-new listings injected per window",
+    )
+    p.add_argument(
+        "--events-per-window", type=int, default=64, help="clicks per window"
+    )
+    p.add_argument(
+        "--requests-per-window",
+        type=int,
+        default=32,
+        help="gateway requests fired while each window applies",
+    )
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        help="quarantine a window whose embedding drift exceeds this",
+    )
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument(
+        "--train-epochs",
+        type=int,
+        default=1,
+        help="continuation epochs per window",
+    )
+    p.add_argument("--table-coverage", type=float, default=0.8)
+    p.add_argument("--cells", type=int, default=None, help="IVF cells")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output", default=None, help="also write the JSON report here"
+    )
     _add_shard_args(p)
 
 
@@ -362,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_refresh_daemon(sub)
     _add_serve(sub)
     _add_netload(sub)
+    _add_stream(sub)
     return parser
 
 
@@ -381,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
         "refresh-daemon": _cmd_refresh_daemon,
         "serve": _cmd_serve,
         "netload": _cmd_netload,
+        "stream": _cmd_stream,
     }
     return handlers[args.command](args)
 
@@ -647,6 +721,46 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 )
             )
         show("warm item after swap", int(covered[0]))
+    if args.stream_every is not None:
+        from repro.core.sgns import SGNSConfig
+        from repro.streaming import (
+            EventLog,
+            StreamApplier,
+            StreamConfig,
+            SyntheticEventStream,
+        )
+
+        print(f"— streaming ingest (every {args.stream_every:g}s) —")
+        stream = SyntheticEventStream(dataset, seed=0)
+        applier = StreamApplier(
+            service,
+            EventLog(),
+            dataset,
+            StreamConfig(
+                train_config=SGNSConfig(
+                    dim=model.dim, epochs=1, window=2, negatives=2, seed=0
+                ),
+                build_kwargs={
+                    "n_cells": args.cells,
+                    "table_coverage": args.table_coverage,
+                    "seed": 2,
+                    **_bundle_kwargs(args),
+                },
+            ),
+            seed=0,
+        )
+        with applier.start(args.stream_every, event_source=stream):
+            if not applier.wait_for_windows(2, timeout=300.0):
+                print("stream windows timed out", file=sys.stderr)
+                return 1
+        for report in applier.history:
+            drift = "n/a" if report.drift is None else f"{report.drift:.4f}"
+            print(
+                f"window [{report.start}, {report.end}):"
+                f" applied={report.applied} new_items={report.new_items}"
+                f" drift={drift} versions={report.versions}"
+            )
+        show("new listing (streamed)", stream.new_item_ids[0])
     print("— metrics —")
     print(json.dumps(service.snapshot(), indent=2, sort_keys=True))
     if sharded:
@@ -751,6 +865,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     gateway = GatewayThread(service, config)
     daemon = None
+    applier = None
     try:
         gateway.start()
         print(
@@ -792,6 +907,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 " promotions through the swap gate)",
                 flush=True,
             )
+        if args.stream_every is not None:
+            from repro.core.sgns import SGNSConfig
+            from repro.streaming import (
+                EventLog,
+                StreamApplier,
+                StreamConfig,
+                SyntheticEventStream,
+            )
+
+            applier = StreamApplier(
+                service,
+                EventLog(),
+                dataset,
+                StreamConfig(
+                    train_config=SGNSConfig(
+                        dim=model.dim, epochs=1, window=2, negatives=2,
+                        seed=args.seed,
+                    ),
+                    build_kwargs={
+                        "n_cells": args.cells,
+                        "table_coverage": args.table_coverage,
+                        "seed": args.seed,
+                        **_bundle_kwargs(args),
+                    },
+                ),
+                promote_gate=gateway.swap_gate,
+                seed=args.seed,
+            )
+            applier.start(
+                args.stream_every,
+                event_source=SyntheticEventStream(dataset, seed=args.seed),
+            )
+            print(
+                f"stream applier attached (every {args.stream_every:g}s,"
+                " promotions through the swap gate)",
+                flush=True,
+            )
         deadline = time.monotonic() + args.duration if args.duration > 0 else None
         try:
             while deadline is None or time.monotonic() < deadline:
@@ -799,6 +951,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             print("interrupted; shutting down", file=sys.stderr)
     finally:
+        if applier is not None:
+            applier.stop()
         if daemon is not None:
             daemon.stop()
         gateway.stop()
@@ -817,8 +971,8 @@ def _cmd_netload(args: argparse.Namespace) -> int:
     from repro.serving import LoadMix, NetLoadConfig, run_netload
 
     weights = [float(part) for part in args.mix.split(",")]
-    if len(weights) != 4:
-        print("--mix needs exactly 4 comma-separated weights", file=sys.stderr)
+    if len(weights) not in (4, 5):
+        print("--mix needs 4 or 5 comma-separated weights", file=sys.stderr)
         return 2
     dataset = load_dataset(args.dataset)
     config = NetLoadConfig(
@@ -852,8 +1006,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serving import LoadMix, build_bundle, run_load, synth_requests
 
     fractions = [float(part) for part in args.mix.split(",")]
-    if len(fractions) != 4:
-        print("--mix needs exactly 4 comma-separated fractions", file=sys.stderr)
+    if len(fractions) not in (4, 5):
+        print("--mix needs 4 or 5 comma-separated fractions", file=sys.stderr)
         return 2
     mix = LoadMix(*fractions)
     dataset, model, store, service = _build_service(args)
@@ -906,6 +1060,175 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(text + "\n")
     return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Streaming ingest smoke against a live gateway.
+
+    Pre-loads ``--windows`` micro-batch windows of synthetic clicks
+    (each announcing brand-new listings) into the event log, applies
+    them on the applier's background thread — promotions through the
+    gateway's writer-priority swap gate — while the foreground fires
+    ``/recommend`` traffic over the wire.  Exits 0 only when every
+    window applied, no request errored, and every new listing is
+    servable from a non-popularity tier.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.core.sgns import SGNSConfig
+    from repro.serving import GatewayConfig, GatewayThread
+    from repro.serving.loadgen import latency_percentiles
+    from repro.serving.netload import fetch_json, wait_for_gateway
+    from repro.streaming import (
+        EventLog,
+        StreamApplier,
+        StreamConfig,
+        SyntheticEventStream,
+    )
+
+    dataset, model, store, service = _build_service(args)
+    sharded = hasattr(store, "n_shards")
+    metrics = service.metrics
+    stream = SyntheticEventStream(
+        dataset,
+        new_items_per_window=args.new_items_per_window,
+        events_per_window=args.events_per_window,
+        seed=args.seed,
+    )
+    log = EventLog()
+    gateway = GatewayThread(
+        service, GatewayConfig(host=args.host, port=args.port, default_k=args.k)
+    )
+    applier = StreamApplier(
+        service,
+        log,
+        dataset,
+        StreamConfig(
+            # The whole stream is pre-loaded into the log, so the window
+            # cap is what splits it back into `--windows` micro-batches.
+            window_events=args.events_per_window,
+            train_config=SGNSConfig(
+                dim=model.dim,
+                epochs=args.train_epochs,
+                window=2,
+                negatives=2,
+                seed=args.seed,
+            ),
+            drift_threshold=args.drift_threshold,
+            rebalance_ratio=4.0 if sharded else None,
+            build_kwargs={
+                "n_cells": args.cells,
+                "table_coverage": args.table_coverage,
+                "seed": args.seed,
+                **_bundle_kwargs(args),
+            },
+        ),
+        promote_gate=gateway.swap_gate,
+        seed=args.seed,
+    )
+
+    errors = 0
+    served = 0
+    timed_out = False
+    tiers: dict[str, str] = {}
+
+    def fire(item_id: int) -> None:
+        nonlocal errors, served
+        try:
+            fetch_json(
+                args.host,
+                gateway.port,
+                f"/recommend?item_id={item_id}&k={args.k}",
+            )
+            served += 1
+        except Exception:
+            errors += 1
+
+    try:
+        gateway.start()
+        wait_for_gateway(args.host, gateway.port)
+        for _ in range(args.windows):
+            log.extend(stream.window())
+        new_ids = stream.new_item_ids
+        time.sleep(0.05)
+        staleness_before = metrics.gauge("stream_staleness_s")
+        applier.start(0.05)
+        # Mid-stream traffic: hammer warm + streamed ids over the wire
+        # while windows train/build/promote underneath the swap gate.
+        deadline = time.monotonic() + 600.0
+        tick = 0
+        while applier.windows_applied < args.windows:
+            if time.monotonic() > deadline:
+                timed_out = True
+                break
+            if tick % 4 == 0 and new_ids:
+                fire(new_ids[(tick // 4) % len(new_ids)])
+            else:
+                fire((tick * 7) % dataset.n_items)
+            tick += 1
+            time.sleep(0.005)
+        staleness_after = metrics.gauge("stream_staleness_s")
+        applier.stop()
+        # Post-apply: every new listing must now serve from a real tier,
+        # observed through the gateway, not the in-process service.
+        for item_id in new_ids:
+            try:
+                payload = fetch_json(
+                    args.host,
+                    gateway.port,
+                    f"/recommend?item_id={item_id}&k={args.k}",
+                )
+                served += 1
+                tiers[str(item_id)] = str(payload["tier"])
+            except Exception:
+                errors += 1
+                tiers[str(item_id)] = "error"
+        for extra in range(args.requests_per_window):
+            fire((extra * 11) % dataset.n_items)
+    finally:
+        applier.stop()
+        gateway.stop()
+        if sharded:
+            service.close()
+
+    reports = applier.history
+    applied = [r for r in reports if r.applied]
+    servable = bool(tiers) and all(
+        tier not in ("popularity", "error") for tier in tiers.values()
+    )
+    doc = {
+        "windows_requested": args.windows,
+        "windows_applied": len(applied),
+        "windows_quarantined": sum(1 for r in reports if r.quarantined),
+        "duplicate_windows": sum(1 for r in reports if r.duplicate),
+        "timed_out": timed_out,
+        "sharded": sharded,
+        "store_version": list(store.versions) if sharded else store.version,
+        "new_items": new_ids,
+        "new_item_tiers": tiers,
+        "new_items_servable": servable,
+        "requests_ok": served,
+        "request_errors": errors,
+        "staleness_before_last_apply_s": staleness_before,
+        "staleness_after_last_apply_s": staleness_after,
+        "stream_lag_events": metrics.gauge("stream_lag_events"),
+        "moves": sum(len(r.moves) for r in applied),
+        "apply_latency_s": latency_percentiles([r.apply_s for r in applied]),
+        "reports": [r.as_dict() for r in reports],
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    ok = (
+        not timed_out
+        and errors == 0
+        and len(applied) >= args.windows
+        and servable
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -36,20 +36,37 @@ class LoadMix:
     ``LoadMix(7, 1, 1, 1)`` and ``LoadMix(0.7, 0.1, 0.1, 0.1)`` describe
     the same traffic.  A zero-weight class is valid and simply never
     emitted (``LoadMix(1, 0, 0, 0)`` is pure warm traffic).
+
+    ``cold_wave`` (default 0: off, keeping old 4-weight call sites
+    byte-compatible) models a cold-start *wave* — a flash-sale listing
+    drop where a burst of never-seen item ids, each carrying listing
+    side information, hammers the cold tiers all at once.  Unlike the
+    other classes its requests arrive as one contiguous burst, which is
+    exactly the traffic the streaming ingest path exists to absorb.
     """
 
     warm: float = 0.70
     cold_item: float = 0.10
     cold_user: float = 0.10
     unknown: float = 0.10
+    cold_wave: float = 0.0
+
+    def _parts(self) -> tuple[float, ...]:
+        return (
+            self.warm,
+            self.cold_item,
+            self.cold_user,
+            self.unknown,
+            self.cold_wave,
+        )
 
     def validate(self) -> None:
-        parts = (self.warm, self.cold_item, self.cold_user, self.unknown)
+        parts = self._parts()
         require(all(p >= 0 for p in parts), "mix weights must be >= 0")
         require(sum(parts) > 0, "mix weights must not all be zero")
 
-    def fractions(self) -> tuple[float, float, float, float]:
-        """The normalized (warm, cold_item, cold_user, unknown) fractions.
+    def fractions(self) -> tuple[float, float, float, float, float]:
+        """Normalized (warm, cold_item, cold_user, unknown, cold_wave).
 
         Exact normalization matters: ``numpy.random.Generator.choice``
         rejects probability vectors that are off by float noise (e.g.
@@ -57,14 +74,14 @@ class LoadMix:
         is divided out rather than asserted.
         """
         self.validate()
-        parts = (self.warm, self.cold_item, self.cold_user, self.unknown)
+        parts = self._parts()
         total = sum(parts)
         fractions = tuple(p / total for p in parts)
         # Normalized floats can still miss 1.0 by an ulp; fold the
         # residue into the largest class so `choice` always accepts.
         residue = 1.0 - sum(fractions)
         if residue:
-            bump = max(range(4), key=lambda i: fractions[i])
+            bump = max(range(len(parts)), key=lambda i: fractions[i])
             fractions = tuple(
                 f + residue if i == bump else f for i, f in enumerate(fractions)
             )
@@ -77,6 +94,7 @@ def synth_requests(
     mix: LoadMix | None = None,
     zipf_a: float = 1.2,
     seed: "int | np.random.Generator | None" = 0,
+    wave_pool: int = 4,
 ) -> list[MatchRequest]:
     """Sample a request stream shaped like homepage-feed traffic.
 
@@ -87,14 +105,27 @@ def synth_requests(
       ``item_id`` (a new listing described only by metadata);
     - *cold user*: random known demographics, no item;
     - *unknown*: an item id far outside the catalogue and no metadata
-      (exercises the popularity tier).
+      (exercises the popularity tier);
+    - *cold wave*: never-seen item ids (a pool of ``wave_pool`` fresh
+      listings, each with donor side information) delivered as one
+      contiguous burst — a listing drop hitting the cold-item tier all
+      at once, the load shape the streaming ingest path must absorb.
     """
     mix = mix or LoadMix()
     require_positive(n_requests, "n_requests")
+    require_positive(wave_pool, "wave_pool")
     rng = ensure_rng(seed)
     n_items = dataset.n_items
-    kinds = rng.choice(4, size=n_requests, p=list(mix.fractions()))
+    kinds = rng.choice(5, size=n_requests, p=list(mix.fractions()))
+    wave_ids = [
+        n_items + 10**6 + i for i in range(wave_pool)
+    ]
+    wave_donors = [
+        dataset.items[int(rng.integers(n_items))] for _ in wave_ids
+    ]
     requests: list[MatchRequest] = []
+    wave: list[MatchRequest] = []
+    wave_at: int | None = None
     for kind in kinds:
         if kind == 0:
             # Fold out-of-catalogue Zipf ranks back with a modulo: clamping
@@ -114,8 +145,22 @@ def synth_requests(
                     purchase_power=str(rng.choice(PURCHASE_POWERS)),
                 )
             )
-        else:
+        elif kind == 3:
             requests.append(MatchRequest(item_id=n_items + int(rng.integers(10**6))))
+        else:
+            # Collected, then spliced back in as one contiguous burst at
+            # the position of the first wave draw.
+            pick = int(rng.integers(wave_pool))
+            wave.append(
+                MatchRequest(
+                    item_id=wave_ids[pick],
+                    si_values=dict(wave_donors[pick].si_values),
+                )
+            )
+            if wave_at is None:
+                wave_at = len(requests)
+    if wave:
+        requests = requests[:wave_at] + wave + requests[wave_at:]
     return requests
 
 

@@ -246,15 +246,26 @@ class ShardedModelStore:
         """Age of the *stalest* shard's live generation, in seconds."""
         return max(store.generation_age_s for store in self._stores)
 
-    def update_partition(self, item_partition: np.ndarray) -> None:
+    def update_partition(
+        self, item_partition: np.ndarray, allow_moves: bool = False
+    ) -> None:
         """Install a new item -> shard map (e.g. after new items listed).
 
-        Existing items must keep their owning shard — moving an item
-        would tear it between its old shard's table and its new shard's
-        index for in-flight snapshots; the nightly refresh only *extends*
-        the map with newly listed items.  The reference assignment is
-        atomic, so readers see either the old or the new map, never a
-        partial one.
+        By default existing items must keep their owning shard — moving
+        an item would tear it between its old shard's table and its new
+        shard's index for in-flight snapshots; the nightly refresh only
+        *extends* the map with newly listed items.  The reference
+        assignment is atomic, so readers see either the old or the new
+        map, never a partial one.
+
+        ``allow_moves=True`` is the streaming applier's incremental
+        re-route path: it swaps the affected shards' bundles *before*
+        installing the map, so a request in flight across the flip sees
+        either (old map, old bundles) — the item answered by its old
+        shard — or (new map, new bundles).  The one transient a reader
+        can observe is (old bundles snapshot, new map): the moved item
+        then misses both table and index and falls back to popularity
+        for that request — a degraded answer, never a torn or wrong one.
         """
         item_partition = np.asarray(item_partition, dtype=np.int64)
         old = self._item_partition
@@ -262,10 +273,11 @@ class ShardedModelStore:
             len(item_partition) >= len(old),
             "new partition map must cover every existing item",
         )
-        require(
-            bool(np.array_equal(item_partition[: len(old)], old)),
-            "existing items cannot change shards in a partition update",
-        )
+        if not allow_moves:
+            require(
+                bool(np.array_equal(item_partition[: len(old)], old)),
+                "existing items cannot change shards in a partition update",
+            )
         require(
             int(item_partition.max(initial=-1)) < len(self._stores),
             "item_partition references a shard with no bundle",

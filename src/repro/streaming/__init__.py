@@ -1,0 +1,36 @@
+"""Streaming ingest: live model mutation between nightly refreshes.
+
+The paper's pipeline recomputes everything nightly; its own motivation —
+traffic where new items and trends appear by the minute — demands an
+online path layered *over* the batch refresh, not replacing it:
+
+- :mod:`repro.streaming.events` — the append-only click-event log with
+  named at-least-once replay cursors;
+- :mod:`repro.streaming.window` — micro-batch windowing + per-user
+  sessionization of a window's clicks;
+- :mod:`repro.streaming.applier` — the per-window apply loop: online
+  vocabulary growth + Eq. 6 cold vectors via warm-start continuation,
+  touched-shard rebuilds, incremental hot-item moves across HBGP
+  shards, drift-gated quarantine, and reconcile-with-refresh (a nightly
+  promote resets the stream);
+- :mod:`repro.streaming.synth` — synthetic click streams with brand-new
+  listings, for the CLI / benchmark / CI smoke.
+"""
+
+from repro.streaming.applier import StreamApplier, StreamConfig, WindowReport
+from repro.streaming.events import ClickEvent, EventLog
+from repro.streaming.synth import SyntheticEventStream, cold_eval_sessions
+from repro.streaming.window import EventWindow, MicroBatchWindower, sessionize
+
+__all__ = [
+    "ClickEvent",
+    "EventLog",
+    "EventWindow",
+    "MicroBatchWindower",
+    "sessionize",
+    "StreamApplier",
+    "StreamConfig",
+    "WindowReport",
+    "SyntheticEventStream",
+    "cold_eval_sessions",
+]

@@ -1,0 +1,172 @@
+"""The append-only click-event log feeding the streaming ingest path.
+
+The paper's pipeline moves behavior data in nightly batches; the live
+side of Taobao produces it as a continuous click stream.  This module is
+the seam between the two: an in-process, append-only event log with
+named *replay cursors* giving the micro-batch applier at-least-once
+delivery semantics:
+
+- a consumer **reads** from its cursor position without moving it;
+- only after the window has been fully applied does it **commit** the
+  cursor past the window's last offset;
+- a crash (or a quarantined window that must not be retried) between
+  read and commit replays the same events on the next read — so the
+  applier downstream must be idempotent per window, which it gets from
+  an ``applied_through`` watermark (see
+  :class:`~repro.streaming.applier.StreamApplier`).
+
+Offsets are dense log positions (0-based); ``head`` is the offset the
+*next* appended event will receive, so ``head - position`` is a
+consumer's replication lag in events.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.utils import require
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """One observed click: ``user_id`` clicked ``item_id``.
+
+    ``si_values`` rides along for items the serving catalogue has never
+    seen — a brand-new listing arrives *described* (Table-I side
+    information from the listing form), which is exactly what Eq. 6
+    needs to place its cold vector.  For known items it may be ``None``.
+    ``ts`` is an opaque event time used only for ordering diagnostics.
+    """
+
+    user_id: int
+    item_id: int
+    si_values: "Mapping[str, int] | None" = None
+    ts: float = 0.0
+
+
+@dataclass
+class _Cursor:
+    position: int = 0
+    commits: int = 0
+    resets: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class EventLog:
+    """Thread-safe, append-only, in-memory click-event log.
+
+    Producers ``append``/``extend``; consumers ``read`` from a named
+    cursor and ``commit`` it only once the batch is durably applied.
+    Multiple independent consumers (the stream applier, a metrics
+    tailer) each own a cursor and never disturb each other.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[ClickEvent] = []
+        self._cursors: dict[str, _Cursor] = {}
+
+    # -- producing ------------------------------------------------------
+
+    def append(self, event: ClickEvent) -> int:
+        """Append one event; returns its offset."""
+        with self._lock:
+            self._events.append(event)
+            return len(self._events) - 1
+
+    def extend(self, events: Iterable[ClickEvent]) -> int:
+        """Append many events; returns the new ``head``."""
+        with self._lock:
+            self._events.extend(events)
+            return len(self._events)
+
+    # -- log state ------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        """Offset the next appended event will receive (== ``len(log)``)."""
+        with self._lock:
+            return len(self._events)
+
+    def __len__(self) -> int:
+        return self.head
+
+    def read(self, start: int, max_events: "int | None" = None) -> list[ClickEvent]:
+        """Events from offset ``start`` (bounded by ``max_events``).
+
+        Reading never moves any cursor — that is what makes delivery
+        at-least-once rather than at-most-once.
+        """
+        require(start >= 0, "start offset must be >= 0")
+        with self._lock:
+            if max_events is None:
+                return self._events[start:]
+            require(max_events > 0, "max_events must be > 0")
+            return self._events[start : start + max_events]
+
+    # -- cursors --------------------------------------------------------
+
+    def _cursor(self, name: str) -> _Cursor:
+        cursor = self._cursors.get(name)
+        if cursor is None:
+            cursor = self._cursors[name] = _Cursor()
+        return cursor
+
+    def position(self, name: str) -> int:
+        """Committed position of cursor ``name`` (0 for a new cursor)."""
+        with self._lock:
+            return self._cursor(name).position
+
+    def commit(self, name: str, offset: int) -> None:
+        """Advance cursor ``name`` to ``offset`` (monotonic, <= head).
+
+        Committing *backwards* is rejected — replay is expressed with
+        :meth:`reset`, which records itself separately so monitoring can
+        tell "the nightly refresh reset the stream" from a bug.
+        """
+        with self._lock:
+            cursor = self._cursor(name)
+            require(
+                cursor.position <= offset <= len(self._events),
+                f"commit offset {offset} outside"
+                f" [{cursor.position}, {len(self._events)}]",
+            )
+            cursor.position = offset
+            cursor.commits += 1
+
+    def reset(self, name: str, offset: "int | None" = None) -> int:
+        """Move cursor ``name`` to ``offset`` (default: the current head).
+
+        The nightly promote calls this with the head: everything already
+        in the log is folded into the new full generation, so the stream
+        restarts from "now".  Returns the new position.
+        """
+        with self._lock:
+            cursor = self._cursor(name)
+            target = len(self._events) if offset is None else offset
+            require(
+                0 <= target <= len(self._events),
+                f"reset offset {target} outside [0, {len(self._events)}]",
+            )
+            cursor.position = target
+            cursor.resets += 1
+            return target
+
+    def lag(self, name: str) -> int:
+        """Events appended but not yet committed by cursor ``name``."""
+        with self._lock:
+            return len(self._events) - self._cursor(name).position
+
+    def cursors(self) -> dict[str, dict]:
+        """Snapshot of every cursor: position, commit and reset counts."""
+        with self._lock:
+            return {
+                name: {
+                    "position": cursor.position,
+                    "commits": cursor.commits,
+                    "resets": cursor.resets,
+                }
+                for name, cursor in self._cursors.items()
+            }

@@ -119,6 +119,29 @@ class TestSerialization:
             assert clone.payload_of(token_id) == vocab.payload_of(token_id)
             assert clone.count_of(token_id) == vocab.count_of(token_id)
 
+    def test_roundtrip_after_online_growth(self):
+        """The streaming path grows a live vocabulary with `add()` between
+        serializations; a round-trip must preserve the grown tail and keep
+        assigning ids where the original left off."""
+        vocab = make_vocab()
+        frozen = Vocabulary.from_dict(vocab.to_dict())
+        # Online growth: a new listing's item token + a new SI instance.
+        vocab.add("item_2", TokenKind.ITEM, 2, count=1)
+        vocab.add("shop_9", TokenKind.SI, ("shop", 9), count=4)
+        vocab.add_count(vocab.get_id("item_0"), 2)  # and a warm click
+        assert len(vocab) == len(frozen) + 2
+
+        clone = Vocabulary.from_dict(vocab.to_dict())
+        assert len(clone) == len(vocab)
+        for token_id in range(len(vocab)):
+            assert clone.token_of(token_id) == vocab.token_of(token_id)
+            assert clone.kind_of(token_id) is vocab.kind_of(token_id)
+            assert clone.payload_of(token_id) == vocab.payload_of(token_id)
+            assert clone.count_of(token_id) == vocab.count_of(token_id)
+        np.testing.assert_array_equal(clone.counts, vocab.counts)
+        # The clone keeps growing from where the original stopped.
+        assert clone.add("item_3", TokenKind.ITEM, 3) == len(vocab)
+
     def test_nested_tuple_payload_roundtrip(self):
         vocab = Vocabulary()
         vocab.add("UT_x", TokenKind.USER_TYPE, (1, 2, 0, (3, 4)), count=1)

@@ -38,7 +38,7 @@ class TestLoadMix:
         fractions = LoadMix(0.3, 0.3, 0.4, 0.0).fractions()
         assert sum(fractions) == 1.0
         rng = np.random.default_rng(0)
-        rng.choice(4, size=8, p=list(fractions))  # must not raise
+        rng.choice(len(fractions), size=8, p=list(fractions))  # must not raise
 
     def test_zero_weight_class_never_emitted(self, tiny_dataset):
         """Regression: `validate()` used to demand every weight > 0, so a
@@ -165,3 +165,66 @@ class TestRunLoad:
         latency = report["latency_s"]
         assert set(latency) == {"p50", "p95", "p99"}
         assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+
+
+class TestColdWave:
+    def test_off_by_default(self, tiny_dataset):
+        requests = synth_requests(tiny_dataset, 300, seed=5)
+        n = tiny_dataset.n_items
+        assert not any(
+            r.item_id is not None and r.item_id >= n and r.si_values is not None
+            for r in requests
+        )
+
+    def test_four_weight_call_sites_still_work(self):
+        # The 5th weight is positional-last and defaults to 0: old
+        # LoadMix(w, ci, cu, u) constructions keep their meaning.
+        assert LoadMix(7, 1, 1, 1).fractions()[:4] == pytest.approx(
+            (0.7, 0.1, 0.1, 0.1)
+        )
+        assert LoadMix(7, 1, 1, 1).fractions()[4] == 0.0
+
+    def test_wave_requests_are_described_never_seen_ids(self, tiny_dataset):
+        requests = synth_requests(
+            tiny_dataset,
+            400,
+            mix=LoadMix(0.5, 0.0, 0.0, 0.0, 0.5),
+            seed=6,
+            wave_pool=4,
+        )
+        n = tiny_dataset.n_items
+        wave = [
+            r
+            for r in requests
+            if r.item_id is not None and r.item_id >= n
+        ]
+        assert wave  # the class was emitted
+        ids = {r.item_id for r in wave}
+        assert len(ids) <= 4  # drawn from the wave pool
+        for r in wave:
+            assert r.item_id >= n + 10**6  # far outside the catalogue
+            assert r.si_values  # described: a listing, not garbage
+
+
+    def test_wave_arrives_as_one_contiguous_burst(self, tiny_dataset):
+        requests = synth_requests(
+            tiny_dataset,
+            500,
+            mix=LoadMix(0.8, 0.0, 0.0, 0.0, 0.2),
+            seed=7,
+        )
+        n = tiny_dataset.n_items
+        positions = [
+            i
+            for i, r in enumerate(requests)
+            if r.item_id is not None and r.item_id >= n
+        ]
+        assert len(positions) > 1
+        assert positions == list(range(positions[0], positions[-1] + 1))
+
+    def test_wave_only_mix_is_valid(self, tiny_dataset):
+        requests = synth_requests(
+            tiny_dataset, 50, mix=LoadMix(0, 0, 0, 0, 1.0), seed=8
+        )
+        assert len(requests) == 50
+        assert all(r.si_values for r in requests)

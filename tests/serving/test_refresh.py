@@ -296,3 +296,25 @@ class TestHelpers:
         extended = np.concatenate([store.item_partition, [0, 1]])
         store.update_partition(extended)
         assert store.shard_of(len(extended) - 1) == 1
+
+    def test_update_partition_allow_moves(self, fitted_sisg, tiny_split):
+        """The streaming re-route path: an explicit opt-in may re-home
+        existing items (the applier rebuilds both endpoint shards first)."""
+        train, _ = tiny_split
+        partition = hbgp_partition(train, HBGPConfig(n_partitions=2))
+        store = ShardedModelStore.build(
+            fitted_sisg.model, train, partition,
+            n_cells=8, table_coverage=1.0, seed=0,
+        )
+        moved = store.item_partition.copy()
+        moved[0] = 1 - moved[0]
+        store.update_partition(moved, allow_moves=True)
+        assert store.shard_of(0) == moved[0]
+        # Shrinking the map stays invalid even with moves allowed.
+        with pytest.raises(ValueError):
+            store.update_partition(moved[:-1], allow_moves=True)
+        # And a shard id with no bundle behind it is rejected.
+        bad = moved.copy()
+        bad[1] = 9
+        with pytest.raises(ValueError):
+            store.update_partition(bad, allow_moves=True)

@@ -1,0 +1,69 @@
+"""Fixtures for the streaming ingest suite.
+
+Stores are cheap to build over the shared fitted model; appliers mutate
+them, so every test gets fresh store + service instances while the
+expensive trained model stays session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sgns import SGNSConfig
+from repro.graph.hbgp import HBGPConfig, hbgp_partition
+from repro.serving import (
+    MatchingService,
+    ModelStore,
+    ShardedMatchingService,
+    ShardedModelStore,
+    build_bundle,
+)
+from repro.streaming import EventLog, StreamApplier, StreamConfig
+
+
+@pytest.fixture(scope="module")
+def stream_base(fitted_sisg, tiny_split):
+    """(model, train dataset) the live generation is built from."""
+    train, _test = tiny_split
+    return fitted_sisg.model, train
+
+
+@pytest.fixture()
+def live(stream_base):
+    """(train, store, service) — a fresh unsharded serving stack."""
+    model, train = stream_base
+    bundle = build_bundle(model, train, n_cells=12, table_coverage=0.8, seed=0)
+    store = ModelStore(bundle)
+    return train, store, MatchingService(store)
+
+
+@pytest.fixture()
+def sharded_live(stream_base):
+    """(train, store, service) — a fresh 2-shard serving stack."""
+    model, train = stream_base
+    partition = hbgp_partition(train, HBGPConfig(n_partitions=2))
+    store = ShardedModelStore.build(
+        model, train, partition, n_cells=8, table_coverage=0.8, seed=0
+    )
+    return train, store, ShardedMatchingService(store)
+
+
+@pytest.fixture()
+def make_applier():
+    """Factory for appliers with a fast one-epoch continuation config."""
+
+    def _make(service, train, log=None, **overrides) -> StreamApplier:
+        defaults = dict(
+            train_config=SGNSConfig(
+                dim=12, epochs=1, window=2, negatives=2, seed=0
+            ),
+            build_kwargs={"n_cells": 12, "table_coverage": 0.8, "seed": 1},
+        )
+        defaults.update(overrides)
+        # NB: an empty EventLog is falsy (len == 0), so test `is None`.
+        log = EventLog() if log is None else log
+        return StreamApplier(
+            service, log, train, StreamConfig(**defaults), seed=0
+        )
+
+    return _make

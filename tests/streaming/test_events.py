@@ -1,0 +1,120 @@
+"""Tests for the event log, cursors, windowing and sessionization."""
+
+import pytest
+
+from repro.data.schema import Session
+from repro.streaming import (
+    ClickEvent,
+    EventLog,
+    MicroBatchWindower,
+    sessionize,
+)
+
+
+def clicks(*pairs):
+    return [ClickEvent(user, item) for user, item in pairs]
+
+
+class TestEventLog:
+    def test_append_returns_dense_offsets(self):
+        log = EventLog()
+        assert log.append(ClickEvent(0, 1)) == 0
+        assert log.append(ClickEvent(0, 2)) == 1
+        assert log.head == 2
+        assert len(log) == 2
+
+    def test_extend_returns_new_head(self):
+        log = EventLog()
+        assert log.extend(clicks((0, 1), (1, 2))) == 2
+        assert log.extend(clicks((2, 3))) == 3
+
+    def test_read_is_bounded_and_never_moves_cursors(self):
+        log = EventLog()
+        log.extend(clicks((0, 1), (0, 2), (0, 3)))
+        assert [e.item_id for e in log.read(0, 2)] == [1, 2]
+        assert [e.item_id for e in log.read(1)] == [2, 3]
+        assert log.position("reader") == 0  # reads don't commit
+
+    def test_read_rejects_bad_args(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.read(-1)
+        with pytest.raises(ValueError):
+            log.read(0, 0)
+
+    def test_commit_advances_and_is_monotonic(self):
+        log = EventLog()
+        log.extend(clicks((0, 1), (0, 2), (0, 3)))
+        log.commit("c", 2)
+        assert log.position("c") == 2
+        assert log.lag("c") == 1
+        with pytest.raises(ValueError):
+            log.commit("c", 1)  # backwards: replay goes through reset()
+        with pytest.raises(ValueError):
+            log.commit("c", 4)  # beyond head
+
+    def test_reset_defaults_to_head_and_counts_separately(self):
+        log = EventLog()
+        log.extend(clicks((0, 1), (0, 2)))
+        log.commit("c", 1)
+        assert log.reset("c") == 2
+        assert log.reset("c", 0) == 0
+        snap = log.cursors()["c"]
+        assert snap["commits"] == 1
+        assert snap["resets"] == 2
+        with pytest.raises(ValueError):
+            log.reset("c", 3)
+
+    def test_independent_cursors(self):
+        log = EventLog()
+        log.extend(clicks((0, 1), (0, 2)))
+        log.commit("a", 2)
+        assert log.position("b") == 0
+        assert log.lag("a") == 0
+        assert log.lag("b") == 2
+
+
+class TestMicroBatchWindower:
+    def test_caught_up_returns_none(self):
+        windower = MicroBatchWindower(EventLog())
+        assert windower.next_window() is None
+
+    def test_next_window_peeks_until_commit(self):
+        log = EventLog()
+        log.extend(clicks((0, 1), (0, 2), (0, 3)))
+        windower = MicroBatchWindower(log, max_events=2)
+        first = windower.next_window()
+        assert (first.start, first.end, first.n_events) == (0, 2, 2)
+        # A crash before commit replays the *same* window.
+        again = windower.next_window()
+        assert (again.start, again.end) == (first.start, first.end)
+        assert again.window_id == first.window_id == 0
+        windower.commit(first)
+        second = windower.next_window()
+        assert (second.start, second.end) == (2, 3)
+        assert windower.lag() == 1
+
+    def test_window_identity_is_start_offset(self):
+        log = EventLog()
+        log.extend(clicks((0, 1), (0, 2)))
+        windower = MicroBatchWindower(log, max_events=10)
+        window = windower.next_window()
+        assert window.window_id == window.start == 0
+
+
+class TestSessionize:
+    def test_groups_per_user_in_event_order(self):
+        sessions = sessionize(clicks((7, 1), (7, 2), (9, 5), (7, 3)))
+        assert sessions == [Session(7, [1, 2, 3]), Session(9, [5])]
+
+    def test_splits_at_max_len(self):
+        sessions = sessionize(clicks(*[(1, i) for i in range(5)]), max_len=2)
+        assert [s.items for s in sessions] == [[0, 1], [2, 3], [4]]
+        assert all(s.user_id == 1 for s in sessions)
+
+    def test_single_click_sessions_kept(self):
+        sessions = sessionize(clicks((3, 10)))
+        assert sessions == [Session(3, [10])]
+
+    def test_empty(self):
+        assert sessionize([]) == []
