@@ -4,8 +4,9 @@ Commands mirror the production workflow:
 
 - ``sisg generate`` — sample a synthetic world and save it to disk;
 - ``sisg stats`` — print the Table-II statistics of a saved dataset;
-- ``sisg train`` — train a SISG variant (local or simulated-distributed
-  engine) and save the embedding model;
+- ``sisg train`` — train a SISG variant (local, Hogwild ``parallel``,
+  parameter-server ``tns``, or simulated-distributed engine) and save
+  the embedding model;
 - ``sisg evaluate`` — HR@K next-item evaluation of a saved model;
 - ``sisg recommend`` — top-K lookup for one item from a saved model;
 - ``sisg partition`` — run HBGP and report cut fraction / imbalance;
@@ -64,6 +65,21 @@ def _add_stats(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--negatives", type=int, default=20)
 
 
+def _workers_arg(value: str) -> "int | str":
+    """argparse type for ``--workers``: a positive int or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {n}")
+    return n
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train a SISG variant")
     p.add_argument("dataset", help="dataset .npz bundle")
@@ -81,11 +97,18 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--engine",
         default="local",
-        choices=["local", "parallel", "distributed"],
+        choices=["local", "parallel", "tns", "distributed"],
         help="local single-process trainer, the shared-memory Hogwild"
-        " engine (parallel), or the simulated TNS/ATNS engine",
+        " engine (parallel), the same engine with a parameter-server"
+        " process for hot rows (tns), or the simulated TNS/ATNS engine",
     )
-    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=4,
+        help="worker processes for parallel/tns/distributed engines,"
+        " or 'auto' (cpu count capped by shard count)",
+    )
     p.add_argument(
         "--shard-strategy",
         default="contiguous",

@@ -1,12 +1,12 @@
-"""Parallel shared-memory SGNS training (Hogwild-style, Recht et al. 2011).
+"""Parallel SGNS training: shared-memory Hogwild and a process-level TNS.
 
 The paper's systems contribution (TNS/ATNS, Section III) exists to make
 skip-gram training scale across workers.  :mod:`repro.distributed.engine`
 reproduces that *algorithm* faithfully under a simulated cost model; this
 module is the real thing on one machine: ``ParallelSGNSTrainer`` places
 ``w_in``/``w_out`` in POSIX shared memory (``multiprocessing.shared_memory``)
-and runs N OS worker processes doing **lock-free** minibatch SGD over
-disjoint sequence shards.
+and runs N OS worker processes doing minibatch SGD over disjoint
+sequence shards.
 
 Three of the paper's ideas carry over directly:
 
@@ -21,18 +21,29 @@ Three of the paper's ideas carry over directly:
 - **ATNS hot-token replication**: the hottest tokens (SI hubs, user
   types) appear in *every* shard, so their output rows would be the
   contended cache lines.  Each worker keeps a private replica of those
-  rows and merges accumulated deltas into the shared matrix every
-  ``sync_interval`` batches under a lock — bounding replica drift the
-  same way the simulated ATNS engine does (delta accumulation, not plain
-  averaging, so hot tokens receive every worker's update volume).
+  rows and merges accumulated deltas every ``sync_interval`` batches —
+  either into the shared matrix under a lock (``hot_sync="lock"``, pure
+  Hogwild) or through a dedicated parameter-server process over pipes
+  (``hot_sync="server"``, the paper's actual TNS architecture; see
+  :mod:`repro.core.paramserver`).
 
-Everything else — gradients, duplicate aggregation, step clipping, the
-noise distribution — reuses the exact kernels of the sequential trainer
-(:func:`repro.core.sgns.scatter_update`, :func:`repro.core.sgns.sigmoid`,
-:class:`repro.core.sampling.AliasSampler`), so single-process and
-multi-process training move parameters the same way and quality parity
-is an empirical check of Hogwild staleness only (asserted in
-``benchmarks/bench_training_throughput.py``).
+The worker hot path is built for scaling, not just correctness:
+
+- **Pipelined pair feed** (:mod:`repro.core.pairfeed`): pair
+  materialization can run in a producer process per worker, writing
+  double-buffered shared-memory pair blocks, so SGD never stalls at an
+  epoch boundary waiting for Python-level pair generation.
+- **Batched worker loop**: negatives are drawn one *block* (many
+  minibatches) at a time, hot-row index translation is precomputed per
+  block, minibatches are fused (``fused_batches`` × ``batch_size``) and
+  per-batch attribute lookups are hoisted — the per-step interpreter
+  overhead that made oversubscribed workers anti-scale is off the hot
+  path.  The gradient kernels themselves are unchanged
+  (:func:`repro.core.sgns.scatter_update`, :func:`~repro.core.sgns.sigmoid`,
+  :class:`repro.core.sampling.AliasSampler`), so single-process and
+  multi-process training move parameters the same way and quality parity
+  is an empirical check of staleness only (asserted in
+  ``benchmarks/bench_training_throughput.py``).
 
 Worker processes are started with the ``fork`` method: the read-only
 state (sequences, alias table, config) is inherited copy-on-write and
@@ -44,15 +55,20 @@ identical results, no speedup.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 from dataclasses import dataclass
-from multiprocessing import shared_memory
 
 import numpy as np
+from multiprocessing import shared_memory
 
+from repro.core.pairfeed import (
+    EpochPairFeed,
+    PipelinedPairFeed,
+    resolve_feed_mode,
+)
 from repro.core.sampling import (
     AliasSampler,
-    PairGenerator,
     build_noise_distribution,
     subsample_keep_probabilities,
 )
@@ -62,13 +78,61 @@ from repro.utils import ensure_rng, get_logger, require, require_positive
 logger = get_logger("core.hogwild")
 
 _SHARD_STRATEGIES = ("contiguous", "hbgp")
+_HOT_SYNCS = ("lock", "server")
+
+#: Pairs covered by one negative-sampling draw / hot-row translation in
+#: the worker loop (many fused minibatches share one block).
+_BLOCK_PAIRS = 1 << 16
+
+
+def _pair_weights(lengths: np.ndarray, window: int) -> np.ndarray:
+    """Skip-gram pairs (one side) per sequence length, vectorized."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.where(
+        lengths <= window + 1,
+        lengths * (lengths - 1) // 2,
+        window * lengths - window * (window + 1) // 2,
+    )
 
 
 def _pair_weight(length: int, window: int) -> int:
-    """Skip-gram pairs (one side) a length-``length`` sequence yields."""
-    if length <= window + 1:
-        return length * (length - 1) // 2
-    return window * length - window * (window + 1) // 2
+    """Scalar convenience wrapper over :func:`_pair_weights`."""
+    return int(_pair_weights(np.asarray([length]), window)[0])
+
+
+def _assign_balanced(
+    free: np.ndarray,
+    weights: np.ndarray,
+    targets: np.ndarray,
+    loads: np.ndarray,
+) -> None:
+    """Spread ``free`` sequences over workers by deficit filling.
+
+    Array-ops replacement for the greedy LPT loop: sort the free
+    sequences by descending weight, compute each worker's *deficit*
+    against the post-assignment ideal load, and bin the sorted cumulative
+    weight axis into the deficits (largest first) with one
+    ``searchsorted``.  Every bin receives at most its deficit plus one
+    straddling sequence, so the max load stays within one sequence
+    weight of ideal — LPT-grade balance without the per-sequence Python
+    loop.  Mutates ``targets`` and ``loads`` in place.
+    """
+    if len(free) == 0:
+        return
+    n_workers = len(loads)
+    order = free[np.argsort(-weights[free], kind="stable")]
+    w = weights[order].astype(np.float64)
+    ideal = (loads.sum() + w.sum()) / n_workers
+    deficits = np.maximum(ideal - loads, 0.0)
+    bin_order = np.argsort(-deficits, kind="stable")
+    bounds = np.cumsum(deficits[bin_order])
+    starts = np.concatenate(([0.0], np.cumsum(w)[:-1]))
+    slot = np.minimum(
+        np.searchsorted(bounds, starts, side="right"), n_workers - 1
+    )
+    assigned = bin_order[slot]
+    targets[order] = assigned
+    loads += np.bincount(assigned, weights=w, minlength=n_workers)
 
 
 def shard_sequences(
@@ -80,62 +144,154 @@ def shard_sequences(
 ) -> list[np.ndarray]:
     """Assign sequences to ``n_workers`` disjoint shards.
 
-    Without ``token_partition``, sequences are spread by longest-
-    processing-time greedy on their expected pair count (near-perfect
-    balance).  With it (HBGP mode), each sequence goes to the worker
-    owning the majority of its tokens' partitions; shards exceeding
-    ``balance`` times the mean load evict their smallest sequences,
-    which are re-spread greedily — locality first, balance as a bound.
+    Without ``token_partition``, sequences are spread by deficit-filling
+    on their expected pair count (near-perfect balance).  With it (HBGP
+    mode), each sequence goes to the worker owning the majority of its
+    tokens' partitions; shards exceeding ``balance`` times the mean load
+    evict their smallest sequences, which are re-spread — locality
+    first, balance as a bound.
 
-    Returns one array of sequence indices per worker.
+    Fully vectorized: the majority vote is one ``bincount`` over the
+    flattened corpus and the eviction cut one ``cumsum``/``searchsorted``
+    per overloaded shard, so assignment cost is O(tokens) array work
+    rather than a per-sequence interpreter loop (timed and asserted in
+    ``benchmarks/bench_training_throughput.py``).
+
+    Returns one sorted array of sequence indices per worker.
     """
     require_positive(n_workers, "n_workers")
     require(balance >= 1.0, f"balance must be >= 1.0, got {balance}")
-    weights = np.asarray(
-        [_pair_weight(len(s), window) for s in sequences], dtype=np.int64
+    n_seqs = len(sequences)
+    lengths = np.fromiter(
+        (len(s) for s in sequences), dtype=np.int64, count=n_seqs
     )
-    shards: list[list[int]] = [[] for _ in range(n_workers)]
-    loads = np.zeros(n_workers, dtype=np.int64)
+    weights = _pair_weights(lengths, window)
+    targets = np.full(n_seqs, -1, dtype=np.int64)
+    loads = np.zeros(n_workers, dtype=np.float64)
 
-    def assign_greedy(indices: np.ndarray) -> None:
-        for i in indices[np.argsort(-weights[indices], kind="stable")]:
-            target = int(np.argmin(loads))
-            shards[target].append(int(i))
-            loads[target] += weights[i]
-
-    if token_partition is None:
-        assign_greedy(np.arange(len(sequences)))
-    else:
+    if token_partition is not None and n_seqs:
         token_partition = np.asarray(token_partition, dtype=np.int64)
-        unassigned: list[int] = []
-        for i, seq in enumerate(sequences):
-            owners = token_partition[seq]
-            owners = owners[(owners >= 0) & (owners < n_workers)]
-            if len(owners):
-                target = int(np.bincount(owners, minlength=n_workers).argmax())
-                shards[target].append(i)
-                loads[target] += weights[i]
-            else:
-                unassigned.append(i)
-        # Balance bound: overloaded shards evict their smallest sequences.
+        flat = (
+            np.concatenate(sequences)
+            if lengths.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        seq_of = np.repeat(np.arange(n_seqs), lengths)
+        owners = token_partition[flat]
+        valid = (owners >= 0) & (owners < n_workers)
+        votes = np.bincount(
+            seq_of[valid] * n_workers + owners[valid],
+            minlength=n_seqs * n_workers,
+        ).reshape(n_seqs, n_workers)
+        owned = np.flatnonzero(votes.sum(axis=1) > 0)
+        targets[owned] = votes[owned].argmax(axis=1)
+        loads += np.bincount(
+            targets[owned], weights=weights[owned], minlength=n_workers
+        )
+        # Balance bound: overloaded shards evict their smallest
+        # sequences (least locality loss), keeping at least one.
         cap = balance * weights.sum() / n_workers
-        for wid in range(n_workers):
-            if loads[wid] <= cap:
+        for wid in np.flatnonzero(loads > cap):
+            members = np.flatnonzero(targets == wid)
+            order = members[np.argsort(weights[members], kind="stable")]
+            cum = np.cumsum(weights[order])
+            n_evict = int(
+                np.searchsorted(cum, loads[wid] - cap, side="left")
+            ) + 1
+            n_evict = min(n_evict, len(order) - 1)
+            if n_evict <= 0:
                 continue
-            # Evict smallest (least-local loss) until under the cap,
-            # keeping at least one sequence on its preferred worker.
-            members = sorted(shards[wid], key=lambda i: weights[i])
-            evicted = []
-            for i in members:
-                if loads[wid] <= cap or len(shards[wid]) - len(evicted) <= 1:
-                    break
-                evicted.append(i)
-                loads[wid] -= weights[i]
-            shards[wid] = [i for i in shards[wid] if i not in set(evicted)]
-            unassigned.extend(evicted)
-        if unassigned:
-            assign_greedy(np.asarray(unassigned, dtype=np.int64))
-    return [np.asarray(sorted(s), dtype=np.int64) for s in shards]
+            evicted = order[:n_evict]
+            targets[evicted] = -1
+            loads[wid] -= weights[evicted].sum()
+
+    _assign_balanced(np.flatnonzero(targets == -1), weights, targets, loads)
+    return [
+        np.flatnonzero(targets == wid).astype(np.int64)
+        for wid in range(n_workers)
+    ]
+
+
+def resolve_n_workers(
+    n_workers: "int | str", n_shardable: "int | None" = None
+) -> int:
+    """Resolve a worker-count request against the host.
+
+    ``"auto"`` picks ``os.cpu_count()`` capped by the number of
+    shardable sequences — you can never use more workers than shards,
+    and asking for more workers than cores anti-scales.  An explicit
+    integer is honoured but logged loudly when it oversubscribes the
+    box: that exact condition (4 workers on a 1-core container)
+    produced a *regressing* 4-worker curve that read as an engine bug.
+    """
+    cores = os.cpu_count() or 1
+    if isinstance(n_workers, str):
+        require(
+            n_workers == "auto",
+            f"n_workers must be a positive int or 'auto', got {n_workers!r}",
+        )
+        resolved = cores if n_shardable is None else max(
+            1, min(cores, n_shardable)
+        )
+        logger.info(
+            "n_workers='auto' -> %d (%d cores, %s shardable sequences)",
+            resolved,
+            cores,
+            "?" if n_shardable is None else n_shardable,
+        )
+        return resolved
+    n = int(n_workers)
+    require_positive(n, "n_workers")
+    if n > cores:
+        logger.warning(
+            "n_workers=%d exceeds the %d available CPU core%s:"
+            " workers will time-slice, throughput will NOT stack and may"
+            " regress vs fewer workers. Use n_workers='auto' to fit the"
+            " host, and read any scaling numbers from this box with the"
+            " recorded host context.",
+            n,
+            cores,
+            "" if cores == 1 else "s",
+        )
+    return n
+
+
+def _pin_to_cpu(index: "int | None") -> None:
+    """Best-effort affinity pin of the calling process to one core."""
+    if index is None or not hasattr(os, "sched_setaffinity"):
+        return
+    try:
+        cpus = sorted(os.sched_getaffinity(0))
+        os.sched_setaffinity(0, {cpus[index % len(cpus)]})
+    except OSError:  # pragma: no cover - containers may forbid it
+        pass
+
+
+class LockHotSync:
+    """Hot-row reconciliation against the shared matrix under a lock.
+
+    The Hogwild-mode counterpart of
+    :class:`repro.core.paramserver.ServerHotSync` (same ``pull`` /
+    ``merge`` / ``close`` surface): deltas are folded into
+    ``w_out[hot_ids]`` while holding a ``multiprocessing.Lock``.
+    """
+
+    def __init__(self, w_out: np.ndarray, hot_ids: np.ndarray, lock) -> None:
+        self._w_out = w_out
+        self._hot_ids = hot_ids
+        self._lock = lock
+
+    def pull(self) -> np.ndarray:
+        with self._lock:
+            return self._w_out[self._hot_ids]
+
+    def merge(self, delta: np.ndarray) -> np.ndarray:
+        with self._lock:
+            self._w_out[self._hot_ids] += delta
+            return self._w_out[self._hot_ids]
+
+    def close(self) -> None:
+        """No-op (nothing held outside the shared matrix)."""
 
 
 @dataclass
@@ -147,8 +303,21 @@ class WorkerReport:
     losses: list[float]
 
 
+@dataclass
+class _WorkerTask:
+    """Everything one worker needs beyond the shared state."""
+
+    worker_id: int
+    feed: object
+    sync: object  # LockHotSync | ServerHotSync | None
+    neg_seed: int
+    total_pairs: int
+    fused_batch: int
+    pin_index: "int | None"
+
+
 class ParallelSGNSTrainer:
-    """Multi-process Hogwild SGNS over shared-memory parameter matrices.
+    """Multi-process SGNS over shared-memory parameter matrices.
 
     Drop-in quality replacement for :class:`repro.core.sgns.SGNSTrainer`
     (same ``fit(sequences, counts)`` surface, same ``w_in``/``w_out``
@@ -164,45 +333,87 @@ class ParallelSGNSTrainer:
         ``dtype="float32"`` is recommended: it halves the shared-memory
         footprint and memory traffic.
     n_workers:
-        Worker processes.  ``1`` runs the worker loop inline (no fork).
+        Worker processes, or ``"auto"`` (``os.cpu_count()`` capped by
+        the number of sequences at fit time).  ``1`` runs the worker
+        loop inline (no fork).  Requests exceeding the core count are
+        honoured but warned about loudly — they anti-scale.
     shard_strategy:
-        ``"contiguous"`` (pair-count-balanced greedy spread) or
+        ``"contiguous"`` (pair-count-balanced deficit spread) or
         ``"hbgp"`` (majority-partition routing; requires
         ``token_partition`` at :meth:`fit` time).
     sync_interval:
-        Batches between hot-replica merges (ATNS cadence).  Short
-        intervals bound drift tighter at slightly more lock traffic.
+        Fused batches between hot-replica merges (ATNS cadence).  Short
+        intervals bound drift tighter at slightly more sync traffic.
     hot_threshold:
         Relative-frequency threshold above which a token's output row is
         replicated per worker.  ``>= 1.0`` disables replication (pure
         Hogwild on every row).
+    hot_sync:
+        ``"lock"`` merges replicas into shared memory under a lock (the
+        Hogwild engine); ``"server"`` exchanges deltas with a dedicated
+        parameter-server process over pipes (the TNS engine — the
+        paper's architecture, for the regime where the lock contends).
+    pair_feed:
+        ``"inline"`` materializes each epoch's pairs in the worker,
+        ``"pipelined"`` runs a producer process per worker over
+        double-buffered shm blocks, ``"auto"`` pipelines only when the
+        host has spare cores for the producer stages.
+    fused_batches:
+        Minibatches of ``config.batch_size`` fused into one SGD step in
+        the worker loop.  ``1`` (default) keeps the sequential trainer's
+        step granularity; larger values amortize interpreter overhead
+        per step but take proportionally fewer, bigger steps — a
+        throughput/convergence trade that only pays off when epochs span
+        many thousands of batches.
+    pin_workers:
+        Pin worker ``i`` to core ``i`` (and the parameter server to its
+        own core) via ``sched_setaffinity``.  ``None`` pins exactly when
+        the host has a core per worker; ignored where unsupported.
     """
 
     def __init__(
         self,
         vocab_size: int,
         config: SGNSConfig | None = None,
-        n_workers: int = 4,
+        n_workers: "int | str" = 4,
         shard_strategy: str = "contiguous",
         sync_interval: int = 8,
         hot_threshold: float = 1e-3,
+        hot_sync: str = "lock",
+        pair_feed: str = "auto",
+        fused_batches: int = 1,
+        pin_workers: "bool | None" = None,
     ) -> None:
         require_positive(vocab_size, "vocab_size")
-        require_positive(n_workers, "n_workers")
         require_positive(sync_interval, "sync_interval")
+        require_positive(fused_batches, "fused_batches")
         require(
             shard_strategy in _SHARD_STRATEGIES,
             f"shard_strategy must be one of {_SHARD_STRATEGIES},"
             f" got {shard_strategy!r}",
         )
+        require(
+            hot_sync in _HOT_SYNCS,
+            f"hot_sync must be one of {_HOT_SYNCS}, got {hot_sync!r}",
+        )
         require(hot_threshold > 0, "hot_threshold must be positive")
+        resolve_feed_mode(pair_feed, 1, True)  # validates the mode name
         self.config = config or SGNSConfig()
         self.config.validate()
         self.vocab_size = vocab_size
-        self.n_workers = n_workers
+        self.requested_workers = (
+            n_workers if n_workers == "auto" else int(n_workers)
+        )
+        if self.requested_workers != "auto":
+            require_positive(self.requested_workers, "n_workers")
+        self.n_workers = 1 if n_workers == "auto" else int(n_workers)
         self.shard_strategy = shard_strategy
         self.sync_interval = sync_interval
         self.hot_threshold = hot_threshold
+        self.hot_sync = hot_sync
+        self.pair_feed = pair_feed
+        self.fused_batches = fused_batches
+        self.pin_workers = pin_workers
         self.w_in: np.ndarray | None = None
         self.w_out: np.ndarray | None = None
         self.loss_history: list[float] = []
@@ -210,6 +421,9 @@ class ParallelSGNSTrainer:
         self.worker_reports: list[WorkerReport] = []
         self.shard_sizes: list[int] = []
         self.n_hot = 0
+        self.feed_mode = "inline"
+        self.hot_sync_used = hot_sync
+        self.pinned = False
 
     # ------------------------------------------------------------------
 
@@ -237,6 +451,10 @@ class ParallelSGNSTrainer:
             raise ValueError(
                 "shard_strategy='hbgp' requires a token_partition array"
             )
+        self.n_workers = resolve_n_workers(
+            self.requested_workers, max(len(sequences), 1)
+        )
+        n_workers = self.n_workers
         noise = build_noise_distribution(counts, cfg.noise_alpha)
         sampler = AliasSampler(noise)
         if keep_probabilities is None:
@@ -251,13 +469,21 @@ class ParallelSGNSTrainer:
 
         shards = shard_sequences(
             sequences,
-            self.n_workers,
+            n_workers,
             window=cfg.window,
             token_partition=(
                 token_partition if self.shard_strategy == "hbgp" else None
             ),
         )
         self.shard_sizes = [len(s) for s in shards]
+        lengths = np.fromiter(
+            (len(s) for s in sequences), dtype=np.int64, count=len(sequences)
+        )
+        weights = _pair_weights(lengths, cfg.window)
+        sides = 1 if cfg.directional else 2
+        shard_pairs = [
+            int(weights[shard].sum()) * sides * cfg.epochs for shard in shards
+        ]
 
         # Hot set: tokens frequent enough to be touched by every shard.
         total = max(int(counts.sum()), 1)
@@ -273,12 +499,32 @@ class ParallelSGNSTrainer:
         dtype = cfg.param_dtype
         d = cfg.dim
 
+        fork_available = "fork" in multiprocessing.get_all_start_methods()
+        use_fork = n_workers > 1 and fork_available
+        if n_workers > 1 and not use_fork:
+            logger.warning(
+                "fork start method unavailable; running %d shards"
+                " sequentially in-process",
+                n_workers,
+            )
+        self.feed_mode = resolve_feed_mode(
+            self.pair_feed, n_workers, fork_available
+        )
+        cores = os.cpu_count() or 1
+        if self.pin_workers is None:
+            pin = use_fork and cores >= n_workers and cores > 1
+        else:
+            pin = bool(self.pin_workers)
+        self.pinned = pin and hasattr(os, "sched_setaffinity")
+
         shm_params = shared_memory.SharedMemory(
             create=True, size=2 * self.vocab_size * d * dtype.itemsize
         )
         shm_stats = shared_memory.SharedMemory(
-            create=True, size=self.n_workers * cfg.epochs * 2 * 8
+            create=True, size=n_workers * cfg.epochs * 2 * 8
         )
+        feeds: list = []
+        server = None
         try:
             w_in = np.ndarray(
                 (self.vocab_size, d), dtype=dtype, buffer=shm_params.buf
@@ -292,50 +538,91 @@ class ParallelSGNSTrainer:
             # Same init convention as the sequential trainer.
             w_in[:] = ((rng.random((self.vocab_size, d)) - 0.5) / d).astype(dtype)
             w_out[:] = 0.0
-            worker_seeds = [
-                int(s) for s in rng.integers(0, 2**31 - 1, self.n_workers)
-            ]
+            # One pair-stream seed and one negatives seed per worker; the
+            # split is what makes inline and pipelined feeds emit the
+            # *same* pair stream (the producer owns the pair RNG).
+            worker_seeds = rng.integers(0, 2**31 - 1, size=(n_workers, 2))
             stats = np.ndarray(
-                (self.n_workers, cfg.epochs, 2),
-                dtype=np.float64,
+                (n_workers, cfg.epochs, 2), dtype=np.float64,
                 buffer=shm_stats.buf,
             )
             stats[:] = 0.0
 
-            use_fork = (
-                self.n_workers > 1
-                and "fork" in multiprocessing.get_all_start_methods()
+            ctx = (
+                multiprocessing.get_context("fork") if fork_available else None
             )
-            if self.n_workers > 1 and not use_fork:
+            self.hot_sync_used = self.hot_sync
+            if self.hot_sync == "server" and not fork_available:
                 logger.warning(
-                    "fork start method unavailable; running %d shards"
-                    " sequentially in-process",
-                    self.n_workers,
+                    "hot_sync='server' requires the fork start method;"
+                    " falling back to the in-process lock merge"
                 )
+                self.hot_sync_used = "lock"
+            if (
+                self.hot_sync_used == "server"
+                and self.n_hot
+                and ctx is not None
+            ):
+                from repro.core.paramserver import HotRowParameterServer
+
+                server = HotRowParameterServer(
+                    w_out,
+                    hot_ids,
+                    n_workers,
+                    ctx,
+                    pin_cpu=(n_workers % cores) if self.pinned else None,
+                )
+
+            tasks = []
+            lock = (ctx or multiprocessing).Lock()
+            for wid in range(n_workers):
+                shard_seqs = [sequences[i] for i in shards[wid]]
+                pair_seed = int(worker_seeds[wid, 0])
+                if self.feed_mode == "pipelined":
+                    feed = PipelinedPairFeed(
+                        shard_seqs, cfg, keep, pair_seed, ctx=ctx
+                    )
+                else:
+                    feed = EpochPairFeed(shard_seqs, cfg, keep, pair_seed)
+                feeds.append(feed)
+                if not self.n_hot:
+                    sync = None
+                elif server is not None:
+                    from repro.core.paramserver import ServerHotSync
+
+                    sync = ServerHotSync(server.connection(wid))
+                else:
+                    sync = LockHotSync(w_out, hot_ids, lock)
+                tasks.append(
+                    _WorkerTask(
+                        worker_id=wid,
+                        feed=feed,
+                        sync=sync,
+                        neg_seed=int(worker_seeds[wid, 1]),
+                        total_pairs=shard_pairs[wid],
+                        fused_batch=cfg.batch_size * self.fused_batches,
+                        pin_index=wid if self.pinned else None,
+                    )
+                )
+
+            # Producer stages and the parameter server fork *before* the
+            # workers so every process inherits the right mappings.
+            for feed in feeds:
+                feed.start()
+            if server is not None:
+                server.start()
+
             if use_fork:
-                ctx = multiprocessing.get_context("fork")
-                lock = ctx.Lock()
                 procs = [
                     ctx.Process(
                         target=_worker_entry,
                         args=(
-                            wid,
-                            w_in,
-                            w_out,
-                            [sequences[i] for i in shards[wid]],
-                            sampler,
-                            keep,
-                            cfg,
-                            hot_ids,
-                            hot_row,
-                            lock,
-                            self.sync_interval,
-                            stats,
-                            worker_seeds[wid],
+                            tasks[wid], w_in, w_out, sampler, cfg, hot_row,
+                            self.sync_interval, stats,
                         ),
                         daemon=True,
                     )
-                    for wid in range(self.n_workers)
+                    for wid in range(n_workers)
                 ]
                 for p in procs:
                     p.start()
@@ -344,31 +631,31 @@ class ParallelSGNSTrainer:
                 failed = [i for i, p in enumerate(procs) if p.exitcode != 0]
                 if failed:
                     raise RuntimeError(
-                        f"Hogwild workers {failed} exited non-zero"
+                        f"parallel workers {failed} exited non-zero"
                     )
             else:
-                lock = multiprocessing.Lock()
-                for wid in range(self.n_workers):
+                for wid in range(n_workers):
                     _worker_entry(
-                        wid,
-                        w_in,
-                        w_out,
-                        [sequences[i] for i in shards[wid]],
-                        sampler,
-                        keep,
-                        cfg,
-                        hot_ids,
-                        hot_row,
-                        lock,
-                        self.sync_interval,
-                        stats,
-                        worker_seeds[wid],
+                        tasks[wid], w_in, w_out, sampler, cfg, hot_row,
+                        self.sync_interval, stats,
                     )
+
+            if server is not None:
+                # Publishes the merged hot rows into w_out, then exits.
+                server.join()
+                server = None
 
             self.w_in = np.array(w_in)
             self.w_out = np.array(w_out)
             report = np.array(stats)
         finally:
+            for feed in feeds:
+                feed.close()
+            if server is not None:  # failure path: don't leak the process
+                try:
+                    server.join(timeout=5.0)
+                except RuntimeError as exc:  # pragma: no cover - abnormal
+                    logger.warning("parameter server cleanup: %s", exc)
             shm_params.close()
             shm_params.unlink()
             shm_stats.close()
@@ -380,7 +667,7 @@ class ParallelSGNSTrainer:
                 pairs=int(report[wid, :, 1].sum()),
                 losses=[float(x) for x in report[wid, :, 0]],
             )
-            for wid in range(self.n_workers)
+            for wid in range(n_workers)
         ]
         self.pairs_trained = sum(r.pairs for r in self.worker_reports)
         # Pair-weighted mean loss per epoch across workers.
@@ -394,8 +681,12 @@ class ParallelSGNSTrainer:
             )
             self.loss_history.append(loss)
         logger.info(
-            "hogwild fit: %d workers, %d pairs, %d hot rows, final loss %.4f",
-            self.n_workers,
+            "%s fit: %d workers (%s feed%s), %d pairs, %d hot rows,"
+            " final loss %.4f",
+            "tns" if self.hot_sync_used == "server" else "hogwild",
+            n_workers,
+            self.feed_mode,
+            ", pinned" if self.pinned else "",
             self.pairs_trained,
             self.n_hot,
             self.loss_history[-1] if self.loss_history else float("nan"),
@@ -404,25 +695,19 @@ class ParallelSGNSTrainer:
 
 
 def _worker_entry(
-    worker_id: int,
+    task: _WorkerTask,
     w_in: np.ndarray,
     w_out: np.ndarray,
-    sequences: list[np.ndarray],
     sampler: AliasSampler,
-    keep: np.ndarray,
     cfg: SGNSConfig,
-    hot_ids: np.ndarray,
     hot_row: np.ndarray,
-    lock,
     sync_interval: int,
     stats: np.ndarray,
-    seed: int,
 ) -> None:
     """Process entry point; isolates worker crashes into exit codes."""
     try:
         _worker_loop(
-            worker_id, w_in, w_out, sequences, sampler, keep, cfg,
-            hot_ids, hot_row, lock, sync_interval, stats, seed,
+            task, w_in, w_out, sampler, cfg, hot_row, sync_interval, stats
         )
     except Exception:  # pragma: no cover - surfaced via exit code
         traceback.print_exc()
@@ -430,140 +715,154 @@ def _worker_entry(
 
 
 def _worker_loop(
-    worker_id: int,
+    task: _WorkerTask,
     w_in: np.ndarray,
     w_out: np.ndarray,
-    sequences: list[np.ndarray],
     sampler: AliasSampler,
-    keep: np.ndarray,
     cfg: SGNSConfig,
-    hot_ids: np.ndarray,
     hot_row: np.ndarray,
-    lock,
     sync_interval: int,
     stats: np.ndarray,
-    seed: int,
 ) -> None:
-    """One worker's epochs: the sequential trainer's update rule, with
-    hot output rows served from a private replica (merged periodically)
-    and everything else read/written lock-free in shared memory."""
-    rng = ensure_rng(seed)
-    generator = PairGenerator(
-        sequences,
-        window=cfg.window,
-        directional=cfg.directional,
-        keep_probabilities=keep,
-        dynamic_window=cfg.dynamic_window,
-        seed=rng,
-        precompute=cfg.precompute_pairs,
-        shuffle=cfg.shuffle_pairs,
-    )
-    # Local LR schedule over this shard's expected pair volume: same
-    # decay shape as the sequential run, no cross-worker coordination.
-    total_pairs = max(generator.count_pairs() * cfg.epochs, 1)
-    min_lr = cfg.learning_rate * cfg.min_lr_fraction
-    n_hot = len(hot_ids)
-    if n_hot:
-        with lock:
-            base = w_out[hot_ids].copy()
+    """One worker's epochs: the sequential trainer's update rule over a
+    batched hot path.
+
+    Structure: the feed yields one epoch's materialized pairs; the loop
+    walks them in *blocks* (one negative-sampling draw and one hot-row
+    translation per block) and, inside a block, in fused minibatches
+    (one SGD step each).  Hot output rows are served from a private
+    replica reconciled through ``task.sync``; everything else is
+    read/written lock-free in shared memory.
+    """
+    _pin_to_cpu(task.pin_index)
+    rng = ensure_rng(task.neg_seed)
+    # Hoisted per-step state (attribute lookups off the hot path).
+    dim = cfg.dim
+    negs = cfg.negatives
+    lr0 = cfg.learning_rate
+    min_lr = lr0 * cfg.min_lr_fraction
+    dup = cfg.duplicate_policy
+    clip = cfg.max_step_norm
+    impl = cfg.scatter_impl
+    fused = task.fused_batch
+    block = max(fused, _BLOCK_PAIRS)
+    total = max(task.total_pairs, 1)
+    sync = task.sync
+    n_hot = 0 if sync is None else len(hot_row) and int((hot_row >= 0).sum())
+    if sync is not None:
+        base = np.array(sync.pull(), dtype=w_out.dtype, copy=True)
         replica = base.copy()
+        delta = np.empty_like(base)
 
-    def gather_out(tokens: np.ndarray) -> np.ndarray:
-        rows = w_out[tokens]
-        if n_hot:
-            mask = hot_row[tokens] >= 0
-            if mask.any():
-                rows[mask] = replica[hot_row[tokens[mask]]]
-        return rows
-
-    def sync_replica() -> None:
-        nonlocal base
-        with lock:
-            w_out[hot_ids] += replica - base
-            base = w_out[hot_ids].copy()
-        replica[:] = base
+    def merge_replica() -> None:
+        np.subtract(replica, base, out=delta)
+        merged = sync.merge(delta)
+        base[:] = merged
+        replica[:] = merged
 
     seen = 0
-    batches_since_sync = 0
-    for epoch in range(cfg.epochs):
+    since_sync = 0
+    for epoch, (epoch_centers, epoch_contexts) in enumerate(task.feed.epochs()):
         epoch_loss = 0.0
         epoch_pairs = 0
-        for centers, contexts in generator.batches(cfg.batch_size):
-            progress = min(seen / total_pairs, 1.0)
-            lr = cfg.learning_rate + (min_lr - cfg.learning_rate) * progress
+        n_pairs = len(epoch_centers)
+        for bstart in range(0, n_pairs, block):
+            bend = min(bstart + block, n_pairs)
+            blk_centers = epoch_centers[bstart:bend]
+            blk_contexts = epoch_contexts[bstart:bend]
+            nb = bend - bstart
+            negatives = sampler.sample((nb, negs), rng)
+            if sync is not None:
+                blk_hot_pos = hot_row[blk_contexts]
+                blk_hot_neg = hot_row[negatives.ravel()]
+            for s in range(0, nb, fused):
+                e = min(s + fused, nb)
+                centers = blk_centers[s:e]
+                contexts = blk_contexts[s:e]
+                neg_flat = negatives[s:e].reshape(-1)
+                n_mb = e - s
+                lr = lr0 + (min_lr - lr0) * min(seen / total, 1.0)
 
-            w_c = w_in[centers]
-            c_pos = gather_out(contexts)
-            pos_sig = sigmoid(np.einsum("bd,bd->b", w_c, c_pos))
-            g_pos = pos_sig - 1.0
+                w_c = w_in[centers]
+                c_pos = w_out[contexts]
+                if sync is not None:
+                    h_pos = blk_hot_pos[s:e]
+                    m_pos = h_pos >= 0
+                    if m_pos.any():
+                        c_pos[m_pos] = replica[h_pos[m_pos]]
+                pos_sig = sigmoid(np.einsum("bd,bd->b", w_c, c_pos))
+                g_pos = pos_sig - 1.0
 
-            negatives = sampler.sample((len(centers), cfg.negatives), rng)
-            neg_flat = negatives.ravel()
-            c_neg = gather_out(neg_flat).reshape(len(centers), cfg.negatives, -1)
-            neg_sig = sigmoid(np.einsum("bd,bnd->bn", w_c, c_neg))
-            g_neg = neg_sig
+                c_neg = w_out[neg_flat]
+                if sync is not None:
+                    h_neg = blk_hot_neg[s * negs : e * negs]
+                    m_neg = h_neg >= 0
+                    if m_neg.any():
+                        c_neg[m_neg] = replica[h_neg[m_neg]]
+                c_neg3 = c_neg.reshape(n_mb, negs, dim)
+                neg_sig = sigmoid(np.einsum("bd,bnd->bn", w_c, c_neg3))
 
-            grad_w = g_pos[:, None] * c_pos + np.einsum(
-                "bn,bnd->bd", g_neg, c_neg
-            )
-            out_tokens = np.concatenate((contexts, neg_flat))
-            out_grads = np.concatenate(
-                (
-                    g_pos[:, None] * w_c,
-                    (g_neg[..., None] * w_c[:, None, :]).reshape(
-                        -1, cfg.dim
-                    ),
+                grad_w = g_pos[:, None] * c_pos + np.einsum(
+                    "bn,bnd->bd", neg_sig, c_neg3
                 )
-            )
-
-            scatter_update(
-                w_in, centers, grad_w, lr,
-                duplicate_policy=cfg.duplicate_policy,
-                max_step_norm=cfg.max_step_norm,
-                impl=cfg.scatter_impl,
-            )
-            if n_hot:
-                hot_mask = hot_row[out_tokens] >= 0
-                if hot_mask.any():
-                    scatter_update(
-                        replica,
-                        hot_row[out_tokens[hot_mask]],
-                        out_grads[hot_mask],
-                        lr,
-                        duplicate_policy=cfg.duplicate_policy,
-                        max_step_norm=cfg.max_step_norm,
-                        impl=cfg.scatter_impl,
+                out_grads = np.concatenate(
+                    (
+                        g_pos[:, None] * w_c,
+                        (neg_sig[..., None] * w_c[:, None, :]).reshape(
+                            -1, dim
+                        ),
                     )
-                cold = ~hot_mask
-                if cold.any():
-                    scatter_update(
-                        w_out, out_tokens[cold], out_grads[cold], lr,
-                        duplicate_policy=cfg.duplicate_policy,
-                        max_step_norm=cfg.max_step_norm,
-                        impl=cfg.scatter_impl,
-                    )
-            else:
+                )
                 scatter_update(
-                    w_out, out_tokens, out_grads, lr,
-                    duplicate_policy=cfg.duplicate_policy,
-                    max_step_norm=cfg.max_step_norm,
-                    impl=cfg.scatter_impl,
+                    w_in, centers, grad_w, lr,
+                    duplicate_policy=dup, max_step_norm=clip, impl=impl,
                 )
+                out_tokens = np.concatenate((contexts, neg_flat))
+                if sync is not None:
+                    hot_sel = np.concatenate((h_pos, h_neg))
+                    hot_mask = hot_sel >= 0
+                    if hot_mask.any():
+                        scatter_update(
+                            replica, hot_sel[hot_mask], out_grads[hot_mask],
+                            lr, duplicate_policy=dup, max_step_norm=clip,
+                            impl=impl,
+                        )
+                        cold = ~hot_mask
+                        if cold.any():
+                            scatter_update(
+                                w_out, out_tokens[cold], out_grads[cold], lr,
+                                duplicate_policy=dup, max_step_norm=clip,
+                                impl=impl,
+                            )
+                    else:
+                        scatter_update(
+                            w_out, out_tokens, out_grads, lr,
+                            duplicate_policy=dup, max_step_norm=clip,
+                            impl=impl,
+                        )
+                else:
+                    scatter_update(
+                        w_out, out_tokens, out_grads, lr,
+                        duplicate_policy=dup, max_step_norm=clip, impl=impl,
+                    )
 
-            batch = len(centers)
-            seen += batch
-            epoch_pairs += batch
-            with np.errstate(divide="ignore"):
-                loss = -np.log(np.maximum(pos_sig, 1e-12)).mean()
-                loss += (
-                    -np.log(np.maximum(1.0 - neg_sig, 1e-12)).sum(axis=1).mean()
-                )
-            epoch_loss += float(loss) * batch
-            batches_since_sync += 1
-            if n_hot and batches_since_sync >= sync_interval:
-                sync_replica()
-                batches_since_sync = 0
-        stats[worker_id, epoch, 0] = epoch_loss / max(epoch_pairs, 1)
-        stats[worker_id, epoch, 1] = epoch_pairs
-    if n_hot:
-        sync_replica()
+                seen += n_mb
+                epoch_pairs += n_mb
+                with np.errstate(divide="ignore"):
+                    loss = -np.log(np.maximum(pos_sig, 1e-12)).mean()
+                    loss += (
+                        -np.log(np.maximum(1.0 - neg_sig, 1e-12))
+                        .sum(axis=1)
+                        .mean()
+                    )
+                epoch_loss += float(loss) * n_mb
+                since_sync += 1
+                if sync is not None and since_sync >= sync_interval:
+                    merge_replica()
+                    since_sync = 0
+        stats[task.worker_id, epoch, 0] = epoch_loss / max(epoch_pairs, 1)
+        stats[task.worker_id, epoch, 1] = epoch_pairs
+    if sync is not None:
+        merge_replica()
+        sync.close()
+    del n_hot

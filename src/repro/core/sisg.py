@@ -40,7 +40,7 @@ from repro.utils import get_logger, require
 
 logger = get_logger("core.sisg")
 
-_ENGINES = ("local", "parallel", "distributed")
+_ENGINES = ("local", "parallel", "tns", "distributed")
 _SHARD_STRATEGIES = ("contiguous", "hbgp")
 
 
@@ -88,12 +88,16 @@ class SISGConfig:
         ``directional`` flag is overridden by this config's.
     engine:
         ``"local"`` (single-process trainer), ``"parallel"`` (the
-        shared-memory Hogwild engine of
-        :mod:`repro.core.hogwild`) or ``"distributed"`` (the simulated
-        multi-worker TNS/ATNS engine of Section III).
+        shared-memory Hogwild engine of :mod:`repro.core.hogwild`),
+        ``"tns"`` (the same engine with hot-row deltas exchanged
+        through a dedicated parameter-server process — the paper's
+        TNS architecture, see :mod:`repro.core.paramserver`) or
+        ``"distributed"`` (the simulated multi-worker TNS/ATNS engine
+        of Section III).
     n_workers:
-        Worker count for the parallel and distributed engines (ignored
-        by ``local``).
+        Worker count for the parallel/tns/distributed engines (ignored
+        by ``local``).  ``"auto"`` resolves to ``os.cpu_count()``
+        capped by the shard count at fit time.
     shard_strategy:
         Sequence-sharding policy for the parallel engine:
         ``"contiguous"`` (pair-count balanced) or ``"hbgp"`` (route each
@@ -113,7 +117,7 @@ class SISGConfig:
     directional: bool = True
     sgns: SGNSConfig = field(default_factory=SGNSConfig)
     engine: str = "local"
-    n_workers: int = 4
+    n_workers: "int | str" = 4
     shard_strategy: str = "contiguous"
     scale_faithful_subsampling: bool = True
 
@@ -122,7 +126,11 @@ class SISGConfig:
             self.engine in _ENGINES,
             f"engine must be one of {_ENGINES}, got {self.engine!r}",
         )
-        require(self.n_workers >= 1, f"n_workers must be >= 1, got {self.n_workers}")
+        require(
+            self.n_workers == "auto"
+            or (isinstance(self.n_workers, int) and self.n_workers >= 1),
+            f"n_workers must be >= 1 or 'auto', got {self.n_workers!r}",
+        )
         require(
             self.shard_strategy in _SHARD_STRATEGIES,
             f"shard_strategy must be one of {_SHARD_STRATEGIES},"
@@ -275,20 +283,23 @@ class SISG:
                 corpus.sequences, corpus.vocab.counts, keep_probabilities=keep
             )
             w_in, w_out = trainer.w_in, trainer.w_out
-        elif cfg.engine == "parallel":
+        elif cfg.engine in ("parallel", "tns"):
             # Imported lazily to keep the default path light.
-            from repro.core.hogwild import ParallelSGNSTrainer
+            from repro.core.hogwild import ParallelSGNSTrainer, resolve_n_workers
 
             token_partition = None
             if cfg.shard_strategy == "hbgp":
                 token_partition = self._hbgp_token_partition(
-                    dataset, corpus.vocab, cfg.n_workers
+                    dataset,
+                    corpus.vocab,
+                    resolve_n_workers(cfg.n_workers, corpus.n_sequences),
                 )
             parallel = ParallelSGNSTrainer(
                 len(corpus.vocab),
                 sgns_cfg,
                 n_workers=cfg.n_workers,
                 shard_strategy=cfg.shard_strategy,
+                hot_sync="server" if cfg.engine == "tns" else "lock",
             )
             parallel.fit(
                 corpus.sequences,
@@ -301,8 +312,11 @@ class SISG:
             # Imported lazily: repro.distributed depends on repro.core.
             from repro.distributed.engine import train_distributed
 
+            from repro.core.hogwild import resolve_n_workers
+
             result = train_distributed(
-                corpus, sgns_cfg, n_workers=cfg.n_workers,
+                corpus, sgns_cfg,
+                n_workers=resolve_n_workers(cfg.n_workers, corpus.n_sequences),
                 keep_probabilities=keep,
             )
             w_in, w_out = result.w_in, result.w_out

@@ -1,9 +1,18 @@
 """Tests for the shared-memory Hogwild engine and sequence sharding."""
 
+import logging
+import os
+
 import numpy as np
 import pytest
 
-from repro.core.hogwild import ParallelSGNSTrainer, _pair_weight, shard_sequences
+from repro.core.hogwild import (
+    ParallelSGNSTrainer,
+    _pair_weight,
+    _pair_weights,
+    resolve_n_workers,
+    shard_sequences,
+)
 from repro.core.sgns import SGNSConfig
 
 
@@ -74,6 +83,41 @@ class TestShardSequences:
     def test_rejects_bad_workers(self):
         with pytest.raises(ValueError):
             shard_sequences([np.arange(3)], 0)
+
+    def test_vectorized_weights_match_scalar(self):
+        lengths = np.arange(0, 30, dtype=np.int64)
+        vec = _pair_weights(lengths, 5)
+        ref = [_pair_weight(int(n), 5) for n in lengths]
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_handles_empty_sequences(self):
+        seqs = [np.empty(0, dtype=np.int64), np.arange(6, dtype=np.int64)]
+        shards = shard_sequences(seqs, 2)
+        merged = sorted(np.concatenate(shards).tolist())
+        assert merged == [0, 1]
+
+
+class TestResolveNWorkers:
+    def test_auto_caps_by_cores_and_shards(self):
+        cores = os.cpu_count() or 1
+        assert resolve_n_workers("auto") == cores
+        assert resolve_n_workers("auto", n_shardable=1) == 1
+        assert resolve_n_workers("auto", n_shardable=10**6) == cores
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_n_workers(3) == 3
+
+    def test_oversubscription_warns_loudly(self, caplog):
+        cores = os.cpu_count() or 1
+        with caplog.at_level(logging.WARNING, logger="repro.core.hogwild"):
+            resolve_n_workers(cores + 4)
+        assert any("exceeds" in rec.message for rec in caplog.records)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_n_workers("turbo")
+        with pytest.raises(ValueError):
+            resolve_n_workers(0)
 
 
 class TestParallelTrainer:
@@ -156,3 +200,22 @@ class TestParallelTrainer:
             ParallelSGNSTrainer(30, SGNSConfig(dim=4)).fit(
                 [np.arange(5, dtype=np.int64)], np.ones(10, dtype=np.int64)
             )
+
+    def test_auto_workers_resolves_at_fit(self):
+        seqs, counts = forward_chain_corpus(n_seqs=50)
+        cfg = SGNSConfig(dim=4, epochs=1, window=2, seed=0)
+        trainer = ParallelSGNSTrainer(30, cfg, n_workers="auto").fit(
+            seqs, counts
+        )
+        expected = min(os.cpu_count() or 1, 50)
+        assert trainer.n_workers == expected
+        assert len(trainer.worker_reports) == expected
+        assert trainer.pairs_trained > 0
+
+    def test_rejects_bad_feed_and_sync_modes(self):
+        with pytest.raises(ValueError):
+            ParallelSGNSTrainer(10, pair_feed="turbo")
+        with pytest.raises(ValueError):
+            ParallelSGNSTrainer(10, hot_sync="udp")
+        with pytest.raises(ValueError):
+            ParallelSGNSTrainer(10, fused_batches=0)

@@ -40,9 +40,21 @@ class TestVariantConstructors:
         assert model.config.engine == "distributed"
         assert model.config.n_workers == 3
 
+    def test_tns_engine_and_auto_workers_accepted(self):
+        model = SISG.sgns(dim=8, engine="tns", n_workers="auto")
+        assert model.config.engine == "tns"
+        assert model.config.n_workers == "auto"
+        model.config.validate()
+
     def test_invalid_engine_rejected(self):
         with pytest.raises(ValueError, match="engine"):
             SISGConfig(engine="spark").validate()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SISGConfig(n_workers="many").validate()
+        with pytest.raises(ValueError, match="n_workers"):
+            SISGConfig(n_workers=0).validate()
 
     def test_variant_name_for_partial_combos(self):
         assert SISGConfig(
@@ -146,3 +158,22 @@ class TestColdStartAPI:
     def test_cold_user_unknown_demographic_rejected(self, fitted_sisg):
         with pytest.raises(ValueError, match="unknown gender"):
             fitted_sisg.recommend_cold_user(gender="X")
+
+
+class TestEngineEndToEnd:
+    """The façade trains through every backend with the same surface."""
+
+    @pytest.mark.parametrize("engine", ["parallel", "tns"])
+    def test_hogwild_engines_fit_and_recommend(self, tiny_split, engine):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("hogwild engines need fork for multi-process runs")
+        train, _ = tiny_split
+        model = SISG.sgns(
+            dim=8, epochs=1, window=2, negatives=3, seed=11,
+            engine=engine, n_workers=2,
+        ).fit(train)
+        items, scores = model.recommend(train.items[0].item_id, k=5)
+        assert len(items) == 5
+        assert np.all(np.isfinite(model.model.w_in))
